@@ -1,0 +1,62 @@
+// Experiment X1 — records per cache line vs sharing-induced failure
+// exposure (section 3.1's motivation).
+//
+// "Due to typical cache line sizes ... it is likely (unless a lot of space
+// is wasted) that multiple records will be stored in a cache line." This
+// driver sweeps the packing density (records per 128-byte line) and
+// measures line migrations, replications, and what a single node crash
+// costs recovery — quantifying the space/recovery-exposure trade-off.
+
+#include "bench/bench_util.h"
+
+namespace smdb::bench {
+namespace {
+
+void Run() {
+  Header("Packing density: records per cache line vs failure exposure",
+         "section 3.1 (multiple records per line cause the failure effects)");
+  Row({"rec bytes", "slots/line", "migrations", "replications", "lost lines",
+       "redo applied", "tag undos", "space eff."},
+      16);
+  // record_data_size + 10-byte slot header, 128-byte lines.
+  for (uint16_t data_size : {118, 54, 22, 6}) {
+    HarnessConfig cfg =
+        StandardConfig(RecoveryConfig::VolatileSelectiveRedo(), 8, 4242);
+    cfg.db.record_data_size = data_size;
+    cfg.num_records = 248;
+    cfg.workload.txns_per_node = 25;
+    cfg.workload.write_ratio = 0.8;
+    cfg.workload.index_op_ratio = 0.0;
+    cfg.crashes = {CrashPlan{900, {3}, false}};
+    Harness h(cfg);
+    HarnessReport r = MustRun(h);
+    uint32_t slots_per_line = 128u / (10u + data_size);
+    double space_eff = double(data_size) * slots_per_line / 128.0;
+    uint64_t redo = 0, tag_undos = 0, lost = r.machine.lines_lost;
+    if (!r.recoveries.empty()) {
+      redo = r.recoveries[0].redo_applied;
+      tag_undos = r.recoveries[0].tag_undos;
+    }
+    Row({std::to_string(data_size), std::to_string(slots_per_line),
+         std::to_string(r.machine.migrations),
+         std::to_string(r.machine.replications), std::to_string(lost),
+         std::to_string(redo), std::to_string(tag_undos),
+         Fmt(space_eff * 100, 0) + "%"},
+        16);
+  }
+  std::printf(
+      "\nshape check: the tag-undo column is the tell — crashed-node"
+      " updates stranded\non surviving nodes appear only once records"
+      " cohabit cache lines, and grow\nwith packing density; padding to one"
+      " record per line buys that safety at\n~38%%->92%% space efficiency"
+      " loss. Raw migration counts stay high at every\ndensity because"
+      " database *support structures* (Page-LSN header lines, the\nshared"
+      " lock table) still share lines — the paper's section 4.2 point that"
+      "\npadding records alone cannot ensure IFA (nor can it, at all, if"
+      " dirty reads\nare allowed).\n");
+}
+
+}  // namespace
+}  // namespace smdb::bench
+
+int main() { smdb::bench::Run(); }

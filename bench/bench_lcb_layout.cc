@@ -1,0 +1,61 @@
+// Design-choice ablation — LCB layout (section 4.2.2).
+//
+// "It may be feasible to ensure that an LCB spans at most one cache line
+// ... a node crash will either destroy all or none of a specific LCB. In
+// this case, only those LCB's which were destroyed need be reconstructed.
+// A more difficult recovery scenario can occur if LCB queues ... span
+// multiple cache lines ... it would be much easier to reconstruct the
+// entire LCB based on the log records on all surviving nodes."
+//
+// This driver runs a lock-heavy workload under both layouts, crashes a
+// node, and reports lock-space damage and rebuild work.
+
+#include "bench/bench_util.h"
+
+namespace smdb::bench {
+namespace {
+
+void RunOne(bool two_line, uint64_t seed) {
+  HarnessConfig cfg =
+      StandardConfig(RecoveryConfig::VolatileSelectiveRedo(), 8, seed);
+  cfg.db.lock_table.two_line_lcb = two_line;
+  cfg.num_records = 128;  // heavy lock-name collisions across nodes
+  cfg.workload.txns_per_node = 25;
+  cfg.workload.write_ratio = 0.4;  // plenty of shared read locks
+  cfg.crashes = {CrashPlan{700, {3}, false}};
+  Harness h(cfg);
+  HarnessReport r = MustRun(h);
+  const RecoveryOutcome& o = r.recoveries.empty() ? RecoveryOutcome{}
+                                                  : r.recoveries[0];
+  Row({two_line ? "two-line (split)" : "single-line",
+       std::to_string(o.lcb_lines_cleared), std::to_string(o.locks_dropped),
+       std::to_string(o.lcbs_rebuilt), FmtMs(o.recovery_time_ns),
+       r.verify_status.ok() ? "IFA OK" : r.verify_status.ToString()},
+      22);
+}
+
+void Run() {
+  Header("LCB layout ablation: single-line vs two-line lock control blocks",
+         "section 4.2.2 (all-or-nothing loss vs partial loss + full rebuild "
+         "from surviving logs)");
+  Row({"LCB layout", "lost LCB lines", "locks dropped", "LCBs rebuilt",
+       "recovery time", "verdict"},
+      22);
+  for (uint64_t seed : {501, 502, 503}) {
+    RunOne(false, seed);
+    RunOne(true, seed);
+    std::printf("\n");
+  }
+  std::printf(
+      "shape check: the two-line layout roughly doubles the lock table's"
+      " line\nfootprint (more lost lines per crash) and can lose half an"
+      " LCB, but the\nlog-based rebuild restores both layouts to an"
+      " IFA-consistent lock space;\nthe single-line layout's all-or-nothing"
+      " loss keeps rebuild work smaller,\nmatching the paper's"
+      " recommendation.\n");
+}
+
+}  // namespace
+}  // namespace smdb::bench
+
+int main() { smdb::bench::Run(); }

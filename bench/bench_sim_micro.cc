@@ -1,0 +1,123 @@
+// Host-level microbenchmarks (google-benchmark) of the simulator and
+// database primitives: how fast the reproduction itself executes. These
+// measure wall-clock ns/op of the simulation, complementing the
+// simulated-time experiment drivers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/database.h"
+
+namespace smdb {
+namespace {
+
+void BM_MachineLocalWrite(benchmark::State& state) {
+  MachineConfig cfg;
+  cfg.num_nodes = 4;
+  Machine m(cfg);
+  Addr a = m.AllocShared(128);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.WriteValue(0, a, ++v));
+  }
+}
+BENCHMARK(BM_MachineLocalWrite);
+
+void BM_MachineRemotePingPong(benchmark::State& state) {
+  MachineConfig cfg;
+  cfg.num_nodes = 4;
+  Machine m(cfg);
+  Addr a = m.AllocShared(128);
+  uint64_t v = 0;
+  NodeId n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.WriteValue(n, a, ++v));
+    n = (n + 1) % 2;  // alternate writers: every write migrates the line
+  }
+}
+BENCHMARK(BM_MachineRemotePingPong);
+
+void BM_LineLockAcquireRelease(benchmark::State& state) {
+  MachineConfig cfg;
+  cfg.num_nodes = 4;
+  Machine m(cfg);
+  LineAddr line = m.LineOf(m.AllocShared(128));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.GetLine(0, line));
+    m.ReleaseLine(0, line);
+  }
+}
+BENCHMARK(BM_LineLockAcquireRelease);
+
+void BM_LockTableAcquireRelease(benchmark::State& state) {
+  DatabaseConfig dc;
+  dc.machine.num_nodes = 4;
+  Database db(dc);
+  TxnId t = MakeTxnId(0, 1);
+  uint64_t name = 0;
+  for (auto _ : state) {
+    ++name;
+    benchmark::DoNotOptimize(
+        db.locks().Acquire(0, t, name % 500 + 1, LockMode::kExclusive,
+                           nullptr));
+    benchmark::DoNotOptimize(db.locks().Release(0, t, name % 500 + 1,
+                                                nullptr));
+  }
+}
+BENCHMARK(BM_LockTableAcquireRelease);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  DatabaseConfig dc;
+  dc.machine.num_nodes = 4;
+  Database db(dc);
+  Lsn chain = kInvalidLsn;
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.index().Insert(
+        0, MakeTxnId(0, 1), ++key, RecordId{1, 0}, kTagNone, &chain));
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+void BM_TxnUpdateCommit(benchmark::State& state) {
+  DatabaseConfig dc;
+  dc.machine.num_nodes = 4;
+  Database db(dc);
+  auto table = db.CreateTable(128);
+  std::vector<uint8_t> value(22, 7);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Transaction* t = db.txn().Begin(i % 4);
+    benchmark::DoNotOptimize(db.txn().Update(t, (*table)[i % 128], value));
+    benchmark::DoNotOptimize(db.txn().Commit(t));
+    ++i;
+  }
+}
+BENCHMARK(BM_TxnUpdateCommit);
+
+void BM_CrashRecoverySelectiveRedo(benchmark::State& state) {
+  std::vector<uint8_t> value(22, 7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DatabaseConfig dc;
+    dc.machine.num_nodes = 4;
+    dc.recovery = RecoveryConfig::VolatileSelectiveRedo();
+    Database db(dc);
+    auto table = db.CreateTable(128);
+    (void)db.Checkpoint(0);
+    for (int i = 0; i < 32; ++i) {
+      Transaction* t = db.txn().Begin(i % 4);
+      (void)db.txn().Update(t, (*table)[i], value);
+      (void)db.txn().Commit(t);
+    }
+    Transaction* active = db.txn().Begin(1);
+    (void)db.txn().Update(active, (*table)[0], value);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(db.Crash({1}));
+  }
+}
+BENCHMARK(BM_CrashRecoverySelectiveRedo);
+
+}  // namespace
+}  // namespace smdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+#ifndef SMDB_BENCH_BENCH_UTIL_H_
+#define SMDB_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment drivers. Each bench binary regenerates
+// one table/figure/measurement from the paper (see DESIGN.md's experiment
+// index) by running workloads on the simulator and printing the series.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/harness.h"
+
+namespace smdb::bench {
+
+inline void Header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("paper artifact: %s\n\n", paper_ref.c_str());
+}
+
+inline void Row(const std::vector<std::string>& cells, int width = 22) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string FmtUs(SimTime ns) { return Fmt(double(ns) / 1e3) + "us"; }
+inline std::string FmtMs(SimTime ns) { return Fmt(double(ns) / 1e6) + "ms"; }
+
+/// The three IFA protocols of Table 1, in the paper's column order.
+inline std::vector<RecoveryConfig> Table1Protocols() {
+  return {RecoveryConfig::StableTriggeredRedoAll(),
+          RecoveryConfig::VolatileSelectiveRedo(),
+          RecoveryConfig::VolatileRedoAll()};
+}
+
+/// Standard mixed workload used across experiments (override fields after).
+inline HarnessConfig StandardConfig(RecoveryConfig rc, uint16_t nodes = 8,
+                                    uint64_t seed = 42) {
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = nodes;
+  cfg.db.recovery = rc;
+  cfg.num_records = 256;
+  cfg.workload.txns_per_node = 25;
+  cfg.workload.ops_per_txn = 8;
+  cfg.workload.write_ratio = 0.5;
+  cfg.workload.index_op_ratio = 0.15;
+  cfg.workload.seed = seed;
+  cfg.seed = seed ^ 0xBEEF;
+  cfg.steal_flush_prob = 0.01;
+  return cfg;
+}
+
+inline HarnessReport MustRun(Harness& h) {
+  auto r = h.Run();
+  if (!r.ok()) {
+    std::fprintf(stderr, "harness failed: %s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+  if (!r->verify_status.ok()) {
+    std::fprintf(stderr, "IFA verification failed: %s\n",
+                 r->verify_status.ToString().c_str());
+  }
+  return *r;
+}
+
+}  // namespace smdb::bench
+
+#endif  // SMDB_BENCH_BENCH_UTIL_H_

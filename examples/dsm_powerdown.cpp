@@ -1,0 +1,68 @@
+// The geographically-dispersed DSM scenario of section 3.3: users "plug
+// into" a distributed-shared-memory network and may power their machines
+// off at any moment, "essentially simulating a node crash". Without IFA
+// such a network would be unusable; with it, the survivors never notice.
+//
+// This example runs a workload on a 16-node DSM machine while nodes keep
+// powering off (and rejoining cold), comparing the configured IFA protocol
+// against what a RebootAll world would have done to the same community.
+
+#include <cstdio>
+
+#include "workload/harness.h"
+
+using namespace smdb;
+
+namespace {
+
+HarnessReport RunWorld(RecoveryConfig rc, const char* label) {
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = 16;
+  cfg.db.recovery = rc;
+  cfg.num_records = 512;
+  cfg.workload.txns_per_node = 20;
+  cfg.workload.ops_per_txn = 6;
+  cfg.workload.write_ratio = 0.6;
+  cfg.workload.zipf_theta = 0.8;  // hot records: heavy line sharing
+  cfg.workload.seed = 20260704;
+  cfg.seed = 1337;
+  cfg.steal_flush_prob = 0.01;
+  cfg.checkpoint_every_steps = 400;
+  // Users yanking power cords all afternoon; most plug back in later.
+  cfg.crashes = {
+      {200, {3}, true},  {450, {11}, true}, {700, {5}, true},
+      {950, {3}, true},  {1200, {8}, true}, {1500, {14}, true},
+  };
+  Harness h(cfg);
+  auto report = h.Run();
+  if (!report.ok()) {
+    std::printf("%s: run failed: %s\n", label,
+                report.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("%-28s committed=%llu  unnecessary aborts=%llu  verify=%s\n",
+              label, static_cast<unsigned long long>(report->exec.committed),
+              static_cast<unsigned long long>(report->unnecessary_aborts()),
+              report->verify_status.ToString().c_str());
+  return *report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "16-node geographically dispersed DSM; 6 power-downs during the run\n"
+      "(section 3.3: every power-down is a node crash)\n\n");
+  auto ifa = RunWorld(RecoveryConfig::VolatileSelectiveRedo(),
+                      "IFA (Volatile+Selective):");
+  auto reboot = RunWorld(RecoveryConfig::BaselineRebootAll(),
+                         "no IFA (RebootAll):");
+  std::printf(
+      "\nwith IFA every power-down annulled only the disconnected user's "
+      "work;\nwithout it, each of the %zu power-downs froze and aborted the "
+      "entire\nnetwork (%llu transactions of other users aborted in total) "
+      "— the paper's\nargument for why dispersed DSM needs IFA.\n",
+      reboot.recoveries.size(),
+      static_cast<unsigned long long>(reboot.unnecessary_aborts()));
+  return ifa.verify_status.ok() ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Section 9's closing suggestion, made concrete: operating system data
+// structures in shared memory (here, a disk-allocation map) protected with
+// the same recovery recipe as database objects — volatile logging before
+// migration, per-entry undo tags, redo from surviving logs, rollback of
+// crashed nodes' provisional state.
+
+#include <cstdio>
+
+#include "os/disk_map.h"
+#include "sim/machine.h"
+#include "storage/stable_log.h"
+#include "wal/log_manager.h"
+
+using namespace smdb;
+
+int main() {
+  MachineConfig mc;
+  mc.num_nodes = 4;
+  Machine machine(mc);
+  StableLogStore stable(mc.num_nodes);
+  LogManager log(&machine, &stable);
+  DiskMap map(&machine, &log, /*map_id=*/1, /*blocks=*/64);
+  (void)map.CheckpointToStable(0);
+
+  // Nodes 0..3 allocate disk blocks; the bitmap lines ping-pong between
+  // them (16 block entries share each cache line).
+  uint32_t confirmed_by_1 = 0, provisional_by_1 = 0, mine = 0;
+  {
+    auto a = map.Allocate(0).value();           // node 0, stays provisional
+    mine = a;
+    confirmed_by_1 = map.Allocate(1).value();   // node 1, confirmed
+    (void)map.Confirm(1, confirmed_by_1);
+    provisional_by_1 = map.Allocate(1).value(); // node 1, provisional
+    (void)map.Allocate(2).value();
+    (void)map.Allocate(3).value();
+  }
+  std::printf("allocated 5 blocks across 4 nodes "
+              "(block entries share cache lines)\n");
+
+  // Node 1 crashes. Its confirmed block must survive; its provisional one
+  // must be reclaimed; node 0's provisional allocation — whose bitmap line
+  // migrated to node 1! — must be preserved.
+  machine.CrashNode(1);
+  Status s = map.RecoverAfterCrash(0, {1});
+  std::printf("node 1 crashed; map recovery: %s\n", s.ToString().c_str());
+
+  auto show = [&](const char* what, uint32_t b) {
+    const char* names[] = {"free", "provisional", "allocated"};
+    std::printf("  %-28s -> %s\n", what,
+                names[static_cast<int>(map.StateOf(b).value())]);
+  };
+  show("node 0 provisional (mine)", mine);
+  show("node 1 confirmed", confirmed_by_1);
+  show("node 1 provisional", provisional_by_1);
+
+  Status v = map.Verify();
+  std::printf("map integrity: %s\n", v.ToString().c_str());
+  std::printf("stats: redo=%llu rollbacks=%llu\n",
+              static_cast<unsigned long long>(map.stats().recovered_redo),
+              static_cast<unsigned long long>(
+                  map.stats().recovered_rollbacks));
+  return v.ok() ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+#ifndef SMDB_COMMON_RNG_H_
+#define SMDB_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace smdb {
+
+/// Deterministic pseudo-random number generator (xoshiro256**). Every source
+/// of randomness in the simulator and the workloads flows through a seeded
+/// Rng so that any run — including any crash/recovery interleaving — is
+/// exactly reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+
+  /// Returns true with probability p (0 <= p <= 1).
+  bool Bernoulli(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Zipfian-distributed value in [0, n) with skew theta (0 = uniform-ish,
+  /// typical database benchmarks use ~0.99). Used by workload generators to
+  /// model hot records.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  // Cached Zipf parameters (recomputed when n/theta change).
+  uint64_t zipf_n_ = 0;
+  double zipf_theta_ = -1.0;
+  double zipf_zetan_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_COMMON_RNG_H_

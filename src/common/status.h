@@ -1,0 +1,145 @@
+#ifndef SMDB_COMMON_STATUS_H_
+#define SMDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace smdb {
+
+/// Error-handling vocabulary for the library (RocksDB-style). The library
+/// does not use exceptions; every fallible operation returns a Status or a
+/// Result<T>.
+class Status {
+ public:
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound,
+    kCorruption,       // on-disk or in-memory structure is inconsistent
+    kInvalidArgument,
+    kBusy,             // lock conflict; request queued, poll for the grant
+    kTryAgain,         // transient capacity rejection; re-issue the request
+    kDeadlock,         // transaction chosen as deadlock victim
+    kNodeFailed,       // operation issued on/against a crashed node
+    kLineLost,         // referenced cache line has no surviving copy
+    kAborted,          // transaction has been aborted
+    kNotSupported,
+    kIoError,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Busy(std::string msg = "") {
+    return Status(Code::kBusy, std::move(msg));
+  }
+  static Status TryAgain(std::string msg = "") {
+    return Status(Code::kTryAgain, std::move(msg));
+  }
+  static Status Deadlock(std::string msg = "") {
+    return Status(Code::kDeadlock, std::move(msg));
+  }
+  static Status NodeFailed(std::string msg = "") {
+    return Status(Code::kNodeFailed, std::move(msg));
+  }
+  static Status LineLost(std::string msg = "") {
+    return Status(Code::kLineLost, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status IoError(std::string msg = "") {
+    return Status(Code::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsTryAgain() const { return code_ == Code::kTryAgain; }
+  bool IsDeadlock() const { return code_ == Code::kDeadlock; }
+  bool IsLineLost() const { return code_ == Code::kLineLost; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNodeFailed() const { return code_ == Code::kNodeFailed; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "code: message" string.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// A value-or-Status pair. Mirrors absl::StatusOr in spirit.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {     // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define SMDB_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::smdb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value to `lhs`.
+#define SMDB_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto SMDB_CONCAT_(_res, __LINE__) = (expr); \
+  if (!SMDB_CONCAT_(_res, __LINE__).ok())     \
+    return SMDB_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(SMDB_CONCAT_(_res, __LINE__)).value()
+
+#define SMDB_CONCAT_INNER_(a, b) a##b
+#define SMDB_CONCAT_(a, b) SMDB_CONCAT_INNER_(a, b)
+
+}  // namespace smdb
+
+#endif  // SMDB_COMMON_STATUS_H_

@@ -1,0 +1,117 @@
+#include "core/database.h"
+#include "core/recovery_manager.h"
+
+namespace smdb {
+
+// RebootAll: what happens to an SM database *without* independent node
+// failures (sections 1, 3.3, 9): a single node crash takes the whole
+// machine down. Every volatile byte is lost, every active transaction —
+// crashed node or not — aborts, and the system restarts from stable
+// storage (repeating history, then undo).
+Status RecoveryManager::RunRebootAll(Ctx& ctx) {
+  Machine& m = db_->machine();
+  ctx.out.whole_machine_restart = true;
+
+  // Every surviving-node active transaction is an unnecessary abort.
+  for (Transaction* t : ctx.surviving_active) {
+    ctx.out.forced_aborts.push_back(t->id);
+    ctx.uncommitted_ids.insert(t->id);
+  }
+  ctx.out.preserved.clear();
+
+  // Every node's volatile log dies in the reboot, so the "begun in the
+  // stable log but neither committed nor aborted there" analysis must cover
+  // all nodes (e.g. a pre-crash abort on a remote node whose CLRs were
+  // never forced leaves a stolen value in the stable database).
+  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+    std::set<TxnId> begun, finished;
+    db_->log().ForEachStable(n, [&](const LogRecord& rec) {
+      if (rec.txn == kInvalidTxn) return;
+      if (rec.type == LogRecordType::kCommit ||
+          rec.type == LogRecordType::kAbort) {
+        finished.insert(rec.txn);
+      } else {
+        begun.insert(rec.txn);
+      }
+    });
+    for (TxnId t : begun) {
+      if (!finished.contains(t)) ctx.uncommitted_ids.insert(t);
+    }
+  }
+
+  // The machine goes down and comes back: all caches, memories and
+  // volatile log tails are gone; every node pays the reboot penalty.
+  m.RebootAll();
+  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+    db_->log().OnNodeCrash(n);
+    db_->wal_table().OnNodeCrash(n);
+    m.Tick(n, m.config().timing.reboot_ns);
+  }
+
+  // Classic restart from stable storage: reload pages, repeat history from
+  // the stable logs, undo every uncommitted transaction.
+  auto reload = [&](const std::vector<PageId>& pages) -> Status {
+    for (PageId p : pages) {
+      SMDB_RETURN_IF_ERROR(db_->buffers().ReinstallPage(ctx.NextSurvivor(), p));
+      ++ctx.out.pages_reloaded;
+    }
+    return Status::Ok();
+  };
+  SMDB_RETURN_IF_ERROR(reload(db_->records().pages()));
+  SMDB_RETURN_IF_ERROR(reload(db_->index().pages()));
+
+  SMDB_RETURN_IF_ERROR(ReplayLogsWithGuard(ctx));
+
+  // Undo uncommitted work from *all* stable logs (everything is "crashed").
+  std::vector<NodeId> all_nodes;
+  for (NodeId n = 0; n < m.num_nodes(); ++n) all_nodes.push_back(n);
+  std::vector<NodeId> saved = ctx.crashed;
+  ctx.crashed = all_nodes;
+  Status s = UndoCrashedFromStableLogs(ctx);
+  ctx.crashed = saved;
+  SMDB_RETURN_IF_ERROR(s);
+
+  // The lock space is volatile: it was destroyed wholesale. Clear the lost
+  // lines; there are no surviving transactions whose locks need rebuilding.
+  ctx.out.lcb_lines_cleared = db_->locks().ClearLostLines();
+
+  // Abort all previously-active transactions.
+  for (Transaction* t : ctx.surviving_active) {
+    db_->txn().MarkCrashAnnulled(t);
+  }
+  return Status::Ok();
+}
+
+// AbortDependents: the "overkill" alternative of section 3.3 — ensure
+// failure atomicity by aborting every transaction that is dependent on the
+// memory of a remote node, instead of recovering precisely. Crashed
+// transactions are handled with the Selective Redo machinery; the
+// difference is the forced aborts of surviving dependents.
+Status RecoveryManager::RunAbortDependents(Ctx& ctx) {
+  DependencyTracker* deps = db_->deps();
+  if (deps == nullptr) {
+    return Status::InvalidArgument(
+        "AbortDependents requires the dependency tracker");
+  }
+  // Snapshot the dependents before recovery mutates tracker state.
+  std::set<TxnId> dependents = deps->Dependent();
+
+  SMDB_RETURN_IF_ERROR(RunSelectiveRedo(ctx));
+
+  for (Transaction* t : ctx.surviving_active) {
+    if (!dependents.contains(t->id)) continue;
+    // A normal abort: the transaction's node is alive and its volatile log
+    // intact — but the abort is unnecessary, which is the point.
+    SMDB_RETURN_IF_ERROR(db_->txn().Abort(t));
+    ctx.out.forced_aborts.push_back(t->id);
+  }
+  // Forced aborts are no longer "preserved".
+  std::vector<TxnId> kept;
+  for (TxnId t : ctx.out.preserved) {
+    if (!dependents.contains(t)) kept.push_back(t);
+  }
+  ctx.out.preserved = std::move(kept);
+  return Status::Ok();
+}
+
+}  // namespace smdb

@@ -1,0 +1,92 @@
+#include "core/database.h"
+
+#include "core/recovery_manager.h"
+#include "db/page_layout.h"
+#include "wal/checkpoint.h"
+
+namespace smdb {
+
+Database::Database(DatabaseConfig config) : config_(config) {
+  machine_ = std::make_unique<Machine>(config_.machine);
+  db_disk_ = std::make_unique<Disk>(machine_.get(), config_.page_size);
+  stable_db_ = std::make_unique<StableDb>(db_disk_.get());
+  stable_log_ = std::make_unique<StableLogStore>(config_.machine.num_nodes);
+  log_ = std::make_unique<LogManager>(machine_.get(), stable_log_.get());
+  wal_table_ = std::make_unique<WalTable>(config_.machine.num_nodes);
+  buffers_ = std::make_unique<BufferManager>(machine_.get(), stable_db_.get(),
+                                             log_.get(), wal_table_.get());
+  records_ = std::make_unique<RecordStore>(
+      machine_.get(), buffers_.get(),
+      PageLayout(config_.page_size, config_.machine.line_size,
+                 config_.record_data_size));
+  // Read-lock logging is a per-protocol choice (Table 1 row 2).
+  LockTableConfig lt = config_.lock_table;
+  lt.log_lock_ops = config_.recovery.log_lock_ops;
+  locks_ = std::make_unique<LockTable>(machine_.get(), log_.get(), lt);
+  lbm_ = LbmPolicy::Create(config_.recovery.lbm, machine_.get(), log_.get());
+  if (config_.recovery.restart == RestartKind::kAbortDependents) {
+    deps_ = std::make_unique<DependencyTracker>(machine_.get());
+  }
+  index_ = std::make_unique<BTree>(
+      machine_.get(), buffers_.get(), log_.get(), wal_table_.get(), &usn_,
+      lbm_.get(), /*tree_id=*/1, config_.recovery.early_commit_structural);
+  txn_ = std::make_unique<TxnManager>(
+      machine_.get(), log_.get(), locks_.get(), records_.get(), index_.get(),
+      wal_table_.get(), buffers_.get(), lbm_.get(), &usn_, deps_.get(),
+      config_.recovery);
+  recovery_ = std::make_unique<RecoveryManager>(this);
+
+  // A node crash destroys the node's volatile log tail and resets its
+  // column of the WAL (page, LSN) table.
+  machine_->AddCrashHook([this](const CrashEvent& ev) {
+    log_->OnNodeCrash(ev.node);
+    wal_table_->OnNodeCrash(ev.node);
+  });
+
+  Status s = index_->Init(/*node=*/0);
+  (void)s;  // only fails on misconfiguration; surfaced by first use
+}
+
+Database::~Database() = default;
+
+Result<std::vector<RecordId>> Database::CreateTable(size_t nrecords,
+                                                    NodeId node) {
+  return records_->CreateTable(node, nrecords);
+}
+
+Status Database::Checkpoint(NodeId coordinator) {
+  std::vector<std::vector<TxnId>> active(config_.machine.num_nodes);
+  for (Transaction* t : txn_->ActiveAll()) {
+    active[t->node()].push_back(t->id);
+  }
+  SMDB_RETURN_IF_ERROR(TakeCheckpoint(machine_.get(), log_.get(),
+                                      buffers_.get(), active, coordinator));
+  // Reclaim stable log space: everything before both the checkpoint and
+  // the oldest active transaction's first record is no longer needed (the
+  // flushed stable database covers older history, including what the
+  // committed-value reconstructor might ask for).
+  for (NodeId n = 0; n < config_.machine.num_nodes; ++n) {
+    if (!machine_->NodeAlive(n)) continue;
+    Lsn safe = log_->checkpoint_lsn(n);
+    if (safe == kInvalidLsn) continue;
+    --safe;  // keep the checkpoint record itself
+    for (Transaction* t : txn_->ActiveOn(n)) {
+      if (t->first_lsn != kInvalidLsn && t->first_lsn <= safe) {
+        safe = t->first_lsn - 1;
+      }
+    }
+    log_->TruncateThrough(n, safe);
+  }
+  return Status::Ok();
+}
+
+Result<RecoveryOutcome> Database::Crash(const std::vector<NodeId>& crashed) {
+  for (NodeId n : crashed) machine_->CrashNode(n);
+  return recovery_->Run(crashed);
+}
+
+void Database::RestartNodes(const std::vector<NodeId>& nodes) {
+  for (NodeId n : nodes) machine_->RestartNode(n);
+}
+
+}  // namespace smdb

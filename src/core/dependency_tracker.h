@@ -1,0 +1,55 @@
+#ifndef SMDB_CORE_DEPENDENCY_TRACKER_H_
+#define SMDB_CORE_DEPENDENCY_TRACKER_H_
+
+#include <set>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "sim/events.h"
+
+namespace smdb {
+
+class Machine;
+
+/// Tracks which active transactions have become "dependent on the memory of
+/// a remote node" — the condition under which the overkill baseline of
+/// section 3.3 aborts a transaction when any node crashes.
+///
+/// A transaction becomes dependent when:
+///  * a cache line containing one of its uncommitted updates is invalidated
+///    or downgraded away from its node (the update now lives, possibly
+///    solely, on another node), or
+///  * it updates a cache line that already contains another active
+///    transaction's uncommitted update (its own update now cohabits a line
+///    whose fate is tied to other nodes).
+///
+/// This is bookkeeping a real system would not need for the IFA protocols;
+/// it exists to implement and quantify the AbortDependents baseline.
+class DependencyTracker {
+ public:
+  explicit DependencyTracker(Machine* machine);
+
+  /// Transaction `txn` (on TxnNode(txn)) wrote uncommitted data in `line`.
+  void OnTxnUpdate(TxnId txn, LineAddr line);
+
+  /// Transaction finished (commit or abort); forget its state.
+  void OnTxnEnd(TxnId txn);
+
+  /// Currently-dependent active transactions.
+  const std::set<TxnId>& Dependent() const { return dependent_; }
+
+  bool IsDependent(TxnId txn) const { return dependent_.contains(txn); }
+
+ private:
+  void OnCoherence(const CoherenceEvent& ev);
+
+  /// line -> active transactions with uncommitted updates in it.
+  std::unordered_map<LineAddr, std::set<TxnId>> line_txns_;
+  /// txn -> lines it updated (for cleanup).
+  std::unordered_map<TxnId, std::set<LineAddr>> txn_lines_;
+  std::set<TxnId> dependent_;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_CORE_DEPENDENCY_TRACKER_H_

@@ -1,0 +1,95 @@
+#include "core/lbm_policy.h"
+
+#include "sim/machine.h"
+#include "wal/log_manager.h"
+
+namespace smdb {
+
+std::string RecoveryConfig::Name() const {
+  std::string lbm_name;
+  switch (lbm) {
+    case LbmKind::kNone: lbm_name = "NoLBM"; break;
+    case LbmKind::kVolatile: lbm_name = "VolatileLBM"; break;
+    case LbmKind::kStableEager: lbm_name = "StableLBM(eager)"; break;
+    case LbmKind::kStableTriggered: lbm_name = "StableLBM(triggered)"; break;
+  }
+  std::string restart_name;
+  switch (restart) {
+    case RestartKind::kRedoAll: restart_name = "RedoAll"; break;
+    case RestartKind::kSelectiveRedo: restart_name = "SelectiveRedo"; break;
+    case RestartKind::kRebootAll: restart_name = "RebootAll"; break;
+    case RestartKind::kAbortDependents:
+      restart_name = "AbortDependents";
+      break;
+  }
+  return lbm_name + "+" + restart_name;
+}
+
+std::unique_ptr<LbmPolicy> LbmPolicy::Create(LbmKind kind, Machine* machine,
+                                             LogManager* log) {
+  switch (kind) {
+    case LbmKind::kNone:
+    case LbmKind::kVolatile:
+      return std::make_unique<VolatileLbm>(kind);
+    case LbmKind::kStableEager:
+      return std::make_unique<StableEagerLbm>(machine, log);
+    case LbmKind::kStableTriggered:
+      return std::make_unique<StableTriggeredLbm>(machine, log);
+  }
+  return nullptr;
+}
+
+Status StableEagerLbm::OnUpdateLogged(NodeId node, Lsn /*lsn*/,
+                                      const std::vector<LineAddr>& /*lines*/) {
+  SMDB_RETURN_IF_ERROR(log_->Force(node, node));
+  ++log_->stats().lbm_forces;
+  return Status::Ok();
+}
+
+StableTriggeredLbm::StableTriggeredLbm(Machine* machine, LogManager* log)
+    : machine_(machine), log_(log) {
+  machine_->AddCoherenceHook(
+      [this](const CoherenceEvent& ev) { OnCoherence(ev); });
+  log_->AddForceHook([this](NodeId node) { OnForced(node); });
+}
+
+Status StableTriggeredLbm::OnUpdateLogged(NodeId node, Lsn /*lsn*/,
+                                          const std::vector<LineAddr>& lines) {
+  for (LineAddr line : lines) {
+    machine_->SetLineActive(line, true);
+    auto it = active_by_.find(line);
+    if (it != active_by_.end() && it->second != node) {
+      active_lines_[it->second].erase(line);
+    }
+    active_by_[line] = node;
+    active_lines_[node].insert(line);
+  }
+  return Status::Ok();
+}
+
+void StableTriggeredLbm::OnCoherence(const CoherenceEvent& ev) {
+  if (!ev.active_bit) return;
+  auto it = active_by_.find(ev.line);
+  if (it == active_by_.end()) return;
+  NodeId updater = it->second;
+  if (!machine_->NodeAlive(updater)) return;
+  // The departing copy holds uncommitted data whose log records are not yet
+  // stable: force the updater's log before the transfer completes. The
+  // requesting node (ev.to) stalls for the force, so it pays the latency.
+  in_force_ = true;
+  Status s = log_->Force(ev.to, updater);
+  in_force_ = false;
+  if (s.ok()) ++log_->stats().lbm_forces;
+}
+
+void StableTriggeredLbm::OnForced(NodeId node) {
+  auto it = active_lines_.find(node);
+  if (it == active_lines_.end()) return;
+  for (LineAddr line : it->second) {
+    machine_->SetLineActive(line, false);
+    active_by_.erase(line);
+  }
+  it->second.clear();
+}
+
+}  // namespace smdb

@@ -1,0 +1,46 @@
+#ifndef SMDB_CORE_RECOVERY_H_
+#define SMDB_CORE_RECOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace smdb {
+
+/// What restart recovery did, and what it cost. The benches for the
+/// recovery-time (R1) and abort-avoidance (A1) experiments read these
+/// fields directly.
+struct RecoveryOutcome {
+  /// Active transactions on crashed nodes whose effects were undone (the
+  /// "all effects ... will be undone" half of IFA).
+  std::vector<TxnId> annulled;
+  /// Active transactions on surviving nodes that kept running (the "no
+  /// effects ... will be undone" half of IFA).
+  std::vector<TxnId> preserved;
+  /// Surviving-node transactions aborted anyway — zero for the IFA
+  /// protocols, nonzero for the baselines. These are the paper's
+  /// "unnecessary transaction aborts".
+  std::vector<TxnId> forced_aborts;
+
+  uint64_t redo_applied = 0;
+  uint64_t redo_skipped = 0;   // Selective Redo's no-redo conditions hit
+  uint64_t undo_applied = 0;
+  uint64_t pages_reloaded = 0;
+  uint64_t lines_reinstalled = 0;
+  uint64_t lcb_lines_cleared = 0;
+  uint64_t lcbs_rebuilt = 0;
+  uint64_t locks_dropped = 0;
+  uint64_t tags_scanned = 0;   // cache lines visited by the tag scan
+  uint64_t tag_undos = 0;      // undos performed from undo tags
+
+  /// Simulated wall-clock of the restart procedure (global-time delta).
+  SimTime recovery_time_ns = 0;
+  bool whole_machine_restart = false;
+
+  std::string ToString() const;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_CORE_RECOVERY_H_

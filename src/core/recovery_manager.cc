@@ -1,0 +1,509 @@
+#include "core/recovery_manager.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/database.h"
+#include "core/stable_state.h"
+#include "db/page_layout.h"
+
+namespace smdb {
+
+std::string RecoveryOutcome::ToString() const {
+  std::ostringstream os;
+  os << "annulled=" << annulled.size() << " preserved=" << preserved.size()
+     << " forced_aborts=" << forced_aborts.size()
+     << " redo_applied=" << redo_applied << " redo_skipped=" << redo_skipped
+     << " undo_applied=" << undo_applied
+     << " pages_reloaded=" << pages_reloaded
+     << " lines_reinstalled=" << lines_reinstalled
+     << " lcb_lines_cleared=" << lcb_lines_cleared
+     << " lcbs_rebuilt=" << lcbs_rebuilt << " locks_dropped=" << locks_dropped
+     << " tags_scanned=" << tags_scanned << " tag_undos=" << tag_undos
+     << " recovery_time_ns=" << recovery_time_ns
+     << (whole_machine_restart ? " WHOLE-MACHINE-RESTART" : "");
+  return os.str();
+}
+
+RecoveryManager::RecoveryManager(Database* db) : db_(db) {}
+
+bool RecoveryManager::CommittedInStableLog(TxnId txn) const {
+  bool committed = false;
+  db_->log().ForEachStable(TxnNode(txn), [&](const LogRecord& rec) {
+    if (rec.txn == txn && rec.type == LogRecordType::kCommit) {
+      committed = true;
+    }
+  });
+  return committed;
+}
+
+Status RecoveryManager::BuildContext(const std::vector<NodeId>& crashed,
+                                     Ctx* ctx) {
+  ctx->crashed = crashed;
+  ctx->crashed_set.insert(crashed.begin(), crashed.end());
+  for (NodeId n = 0; n < db_->machine().num_nodes(); ++n) {
+    if (db_->machine().NodeAlive(n)) ctx->survivors.push_back(n);
+  }
+  if (ctx->survivors.empty()) {
+    return Status::InvalidArgument("no surviving nodes");
+  }
+  // In a real system the crashed nodes' active transactions are identified
+  // from the (recovered) lock table and the stable logs; the TxnManager's
+  // transaction table stands in for that analysis here.
+  for (NodeId c : ctx->crashed) {
+    for (Transaction* t : db_->txn().ActiveOn(c)) {
+      ctx->crashed_active.push_back(t);
+      ctx->crashed_active_ids.insert(t->id);
+      ctx->out.annulled.push_back(t->id);
+    }
+  }
+  for (Transaction* t : db_->txn().ActiveAll()) {
+    ctx->uncommitted_ids.insert(t->id);
+    if (!ctx->crashed_set.contains(t->node())) {
+      ctx->surviving_active.push_back(t);
+      ctx->out.preserved.push_back(t->id);
+    }
+  }
+  // Transactions visible in a crashed node's stable log without a commit
+  // *or abort* record are uncommitted too (e.g. an abort whose CLRs died
+  // with the volatile tail). A stable Abort record implies the CLRs are
+  // stable as well (log forces move the whole tail), so such transactions
+  // are fully handled by the repeating-history redo pass.
+  for (NodeId c : ctx->crashed) {
+    std::set<TxnId> begun, finished;
+    db_->log().ForEachStable(c, [&](const LogRecord& rec) {
+      if (rec.txn == kInvalidTxn) return;
+      if (rec.type == LogRecordType::kCommit ||
+          rec.type == LogRecordType::kAbort) {
+        finished.insert(rec.txn);
+      } else {
+        begun.insert(rec.txn);
+      }
+    });
+    for (TxnId t : begun) {
+      if (!finished.contains(t)) ctx->uncommitted_ids.insert(t);
+    }
+  }
+  return Status::Ok();
+}
+
+Status RecoveryManager::ApplyRedoUpdate(Ctx& ctx, NodeId performer,
+                                        const LogRecord& rec) {
+  const UpdatePayload& u = rec.update();
+  RecordStore& rs = db_->records();
+  SMDB_ASSIGN_OR_RETURN(SlotImage cur, rs.ReadSlot(performer, u.rid));
+  if (cur.usn >= u.usn) {
+    ++ctx.out.redo_skipped;
+    return Status::Ok();
+  }
+  ++ctx.out.redo_applied;
+  uint16_t tag = kTagNone;
+  if (!u.is_clr && db_->config().recovery.undo_tagging() &&
+      ctx.uncommitted_ids.contains(rec.txn)) {
+    tag = TagForNode(TxnNode(rec.txn));
+  }
+  SlotImage img;
+  img.usn = u.usn;
+  img.tag = tag;
+  img.data = u.after;
+  Machine& m = db_->machine();
+  LineAddr header_line = rs.HeaderLine(u.rid.page);
+  LineAddr record_line = rs.SlotLine(u.rid);
+  SMDB_RETURN_IF_ERROR(m.GetLine(performer, header_line));
+  Status st = m.GetLine(performer, record_line);
+  if (!st.ok()) {
+    m.ReleaseLine(performer, header_line);
+    return st;
+  }
+  Status s = rs.WriteSlot(performer, u.rid, img);
+  if (s.ok()) s = rs.WritePageLsn(performer, u.rid.page, u.usn);
+  m.ReleaseLine(performer, record_line);
+  m.ReleaseLine(performer, header_line);
+  SMDB_RETURN_IF_ERROR(s);
+  // The redone update's log record lives on rec.node; if that node
+  // survives, the WAL gate must still cover it before any future flush.
+  if (m.NodeAlive(rec.node)) {
+    db_->wal_table().NoteUpdate(u.rid.page, rec.node, rec.lsn);
+  }
+  db_->buffers().MarkDirty(u.rid.page);
+  return Status::Ok();
+}
+
+Status RecoveryManager::ApplyRedoIndexOp(Ctx& ctx, NodeId performer,
+                                         const LogRecord& rec) {
+  const IndexOpPayload& op = rec.index_op();
+  uint16_t tag = kTagNone;
+  if (!op.is_clr && db_->config().recovery.undo_tagging() &&
+      ctx.uncommitted_ids.contains(rec.txn)) {
+    tag = TagForNode(TxnNode(rec.txn));
+  }
+  // RedoIndexOp is internally USN-guarded; count its effect by probing.
+  SMDB_ASSIGN_OR_RETURN(auto before, db_->index().GetEntry(performer, op.key));
+  bool would_apply = !before.has_value() || before->usn < op.usn;
+  SMDB_RETURN_IF_ERROR(db_->index().RedoIndexOp(performer, op, tag));
+  if (would_apply) {
+    ++ctx.out.redo_applied;
+  } else {
+    ++ctx.out.redo_skipped;
+  }
+  return Status::Ok();
+}
+
+Status RecoveryManager::ApplyRedoStructural(Ctx& ctx, NodeId performer,
+                                            const LogRecord& rec) {
+  const StructuralPayload& sp = rec.structural();
+  (void)performer;
+  for (const auto& [page, image] : sp.page_images) {
+    auto base = db_->buffers().BaseOf(page);
+    if (!base.ok()) return base.status();
+    uint64_t cur_lsn = 0;
+    Status s = db_->machine().SnoopRead(
+        *base + PageLayout::kPageLsnOffset, &cur_lsn, 8);
+    if (s.ok() && cur_lsn >= sp.usn) {
+      ++ctx.out.redo_skipped;
+      continue;  // this or a later state is already in place
+    }
+    // Header lost or pre-change state: install the post-change image.
+    // Sorted replay re-applies any higher-USN entry updates afterwards.
+    db_->machine().InstallToMemory(*base, image.data(), image.size());
+    db_->buffers().MarkDirty(page);
+    ++ctx.out.redo_applied;
+  }
+  return Status::Ok();
+}
+
+Status RecoveryManager::ReplayLogsWithGuard(Ctx& ctx) {
+  Machine& m = db_->machine();
+  // Gather the redo-relevant records from every reachable log, then apply
+  // them in global USN order. Record updates are order-free under the USN
+  // guard (each carries the full after-image), but logical index operations
+  // are not: a delete replayed before the insert it follows would be
+  // dropped. Strict 2PL makes USN order consistent with the original
+  // execution order on every object, so a single sorted pass repeats
+  // history exactly.
+  std::vector<LogRecord> records;
+  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+    Lsn start = db_->log().checkpoint_lsn(n);
+    auto visit = [&](const LogRecord& rec) {
+      if (rec.lsn <= start && start != kInvalidLsn) return;
+      if (rec.type == LogRecordType::kUpdate ||
+          rec.type == LogRecordType::kIndexOp ||
+          rec.type == LogRecordType::kStructural) {
+        records.push_back(rec);
+      }
+    };
+    if (m.NodeAlive(n)) {
+      db_->log().ForEachAll(n, visit);
+    } else {
+      db_->log().ForEachStable(n, visit);
+    }
+  }
+  auto usn_of = [](const LogRecord& rec) {
+    switch (rec.type) {
+      case LogRecordType::kUpdate: return rec.update().usn;
+      case LogRecordType::kIndexOp: return rec.index_op().usn;
+      default: return rec.structural().usn;
+    }
+  };
+  std::sort(records.begin(), records.end(),
+            [&](const LogRecord& a, const LogRecord& b) {
+              return usn_of(a) < usn_of(b);
+            });
+  // Structural changes first: index redo descends the tree, so the tree's
+  // routing structure must be re-established before any entry-level record
+  // is replayed (a reloaded pre-split root routes into garbage). The
+  // Page-LSN and entry-USN guards make the two-phase order equivalent to a
+  // strict USN-ordered replay.
+  for (const LogRecord& rec : records) {
+    if (rec.type != LogRecordType::kStructural) continue;
+    SMDB_RETURN_IF_ERROR(ApplyRedoStructural(ctx, ctx.NextSurvivor(), rec));
+  }
+  for (const LogRecord& rec : records) {
+    if (rec.type == LogRecordType::kStructural) continue;
+    NodeId performer = m.NodeAlive(rec.node) ? rec.node : ctx.NextSurvivor();
+    if (rec.type == LogRecordType::kUpdate) {
+      SMDB_RETURN_IF_ERROR(ApplyRedoUpdate(ctx, performer, rec));
+    } else {
+      SMDB_RETURN_IF_ERROR(ApplyRedoIndexOp(ctx, performer, rec));
+    }
+  }
+  return Status::Ok();
+}
+
+Status RecoveryManager::UndoCrashedFromStableLogs(Ctx& ctx) {
+  // Collect every non-CLR update/index record of uncommitted transactions
+  // from crashed nodes' stable logs, and undo in reverse USN order.
+  std::vector<LogRecord> to_undo;
+  for (NodeId c : ctx.crashed) {
+    db_->log().ForEachStable(c, [&](const LogRecord& rec) {
+      if (!ctx.uncommitted_ids.contains(rec.txn)) return;
+      if (rec.type == LogRecordType::kUpdate && !rec.update().is_clr) {
+        to_undo.push_back(rec);
+      } else if (rec.type == LogRecordType::kIndexOp &&
+                 !rec.index_op().is_clr) {
+        to_undo.push_back(rec);
+      }
+    });
+  }
+  std::sort(to_undo.begin(), to_undo.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              uint64_t ua = a.type == LogRecordType::kUpdate
+                                ? a.update().usn
+                                : a.index_op().usn;
+              uint64_t ub = b.type == LogRecordType::kUpdate
+                                ? b.update().usn
+                                : b.index_op().usn;
+              return ua > ub;  // reverse order
+            });
+  TxnManager::UndoEngagement eng;
+  for (const LogRecord& rec : to_undo) {
+    NodeId performer = ctx.NextSurvivor();
+    if (rec.type == LogRecordType::kUpdate) {
+      SMDB_RETURN_IF_ERROR(db_->txn().ApplyUndoUpdate(performer, rec, &eng));
+    } else {
+      SMDB_RETURN_IF_ERROR(db_->txn().ApplyUndoIndexOp(performer, rec, &eng));
+    }
+    ++ctx.out.undo_applied;
+  }
+  return Status::Ok();
+}
+
+Status RecoveryManager::TagScanUndo(Ctx& ctx) {
+  Machine& m = db_->machine();
+  RecordStore& rs = db_->records();
+  BTree& index = db_->index();
+
+  StableStateReconstructor reconstructor(&m, &db_->log(), &db_->buffers(),
+                                         &rs, ctx.uncommitted_ids);
+
+  // Map USN -> owning txn from crashed nodes' stable logs, to distinguish
+  // "tag stale because the commit beat the tag-clear" from "uncommitted".
+  std::unordered_map<uint64_t, TxnId> usn_owner;
+  for (NodeId c : ctx.crashed) {
+    db_->log().ForEachStable(c, [&](const LogRecord& rec) {
+      if (rec.type == LogRecordType::kUpdate) {
+        usn_owner[rec.update().usn] = rec.txn;
+      } else if (rec.type == LogRecordType::kIndexOp) {
+        usn_owner[rec.index_op().usn] = rec.txn;
+      }
+    });
+  }
+  auto stale_committed_tag = [&](uint64_t usn) {
+    auto it = usn_owner.find(usn);
+    if (it == usn_owner.end()) return false;  // volatile-only => uncommitted
+    return !ctx.uncommitted_ids.contains(it->second);
+  };
+
+  for (NodeId s : ctx.survivors) {
+    // Snapshot the resident lines first: undo writes mutate caches.
+    std::vector<LineAddr> lines;
+    m.cache(s).ForEachLine(
+        [&](LineAddr line, const Cache::Entry&) { lines.push_back(line); });
+    for (LineAddr line : lines) {
+      ++ctx.out.tags_scanned;
+      // --- Heap records ---
+      for (RecordId rid : rs.SlotsInLine(line)) {
+        SMDB_ASSIGN_OR_RETURN(SlotImage img, rs.ReadSlot(s, rid));
+        if (img.tag == kTagNone) continue;
+        NodeId tagged = NodeOfTag(img.tag);
+        if (!ctx.crashed_set.contains(tagged)) continue;
+        if (stale_committed_tag(img.usn)) {
+          // Commit happened; only the tag-clear was lost. Clear it now.
+          SMDB_RETURN_IF_ERROR(m.GetLine(s, line));
+          Status st = rs.WriteTag(s, rid, kTagNone);
+          m.ReleaseLine(s, line);
+          SMDB_RETURN_IF_ERROR(st);
+          continue;
+        }
+        // Undo: install the last committed value (from stable store).
+        SMDB_ASSIGN_OR_RETURN(SlotImage committed,
+                              reconstructor.CommittedValue(s, rid));
+        LineAddr header_line = rs.HeaderLine(rid.page);
+        SMDB_RETURN_IF_ERROR(m.GetLine(s, header_line));
+        Status st = m.GetLine(s, line);
+        if (!st.ok()) {
+          m.ReleaseLine(s, header_line);
+          return st;
+        }
+        uint64_t usn = db_->usn().Next();
+        SlotImage img2;
+        img2.usn = usn;
+        img2.tag = kTagNone;
+        img2.data = committed.data;
+        Status w = rs.WriteSlot(s, rid, img2);
+        if (w.ok()) w = rs.WritePageLsn(s, rid.page, usn);
+        m.ReleaseLine(s, line);
+        m.ReleaseLine(s, header_line);
+        SMDB_RETURN_IF_ERROR(w);
+        db_->buffers().MarkDirty(rid.page);
+        ++ctx.out.tag_undos;
+        ++ctx.out.undo_applied;
+      }
+      // --- Index entries ---
+      for (const auto& ref : index.EntriesInLine(line)) {
+        if (ref.entry.tag == kTagNone) continue;
+        NodeId tagged = NodeOfTag(ref.entry.tag);
+        if (!ctx.crashed_set.contains(tagged)) continue;
+        if (stale_committed_tag(ref.entry.usn)) {
+          SMDB_RETURN_IF_ERROR(index.ClearTag(s, ref.entry.key));
+          continue;
+        }
+        if (ref.entry.state == LeafEntryState::kLive) {
+          // Undo of an uncommitted insert: physically remove this entry.
+          SMDB_RETURN_IF_ERROR(index.RemoveEntryAt(s, ref.leaf, ref.slot));
+        } else {
+          // Undo of an uncommitted logical delete: unmark this entry.
+          SMDB_RETURN_IF_ERROR(index.UnmarkEntryAt(s, ref.leaf, ref.slot));
+        }
+        ++ctx.out.tag_undos;
+        ++ctx.out.undo_applied;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status RecoveryManager::RecoverLockTable(Ctx& ctx) {
+  LockTable& locks = db_->locks();
+  NodeId performer = ctx.NextSurvivor();
+
+  ctx.out.lcb_lines_cleared = locks.ClearLostLines();
+
+  // 1. Release every lock of every crashed transaction that survived in
+  // LCBs on live nodes (IFA lock guarantee 1).
+  if (!ctx.crashed_active_ids.empty()) {
+    SMDB_ASSIGN_OR_RETURN(
+        int dropped, locks.DropTxnLocks(performer, ctx.crashed_active_ids));
+    ctx.out.locks_dropped = dropped;
+  }
+
+  // 2. Rebuild lock state of surviving active transactions whose LCBs were
+  // destroyed (IFA lock guarantee 2), by folding each survivor's logical
+  // lock-op records — acquisitions (read and write), queued requests and
+  // releases — into per-name LCB images.
+  if (!db_->config().recovery.log_lock_ops) return Status::Ok();
+
+  std::map<uint64_t, Lcb> folded;
+  std::set<TxnId> surviving_ids;
+  for (Transaction* t : ctx.surviving_active) surviving_ids.insert(t->id);
+
+  for (NodeId s : ctx.survivors) {
+    db_->log().ForEachAll(s, [&](const LogRecord& rec) {
+      if (rec.type != LogRecordType::kLockOp) return;
+      if (!surviving_ids.contains(rec.txn)) return;
+      const LockOpPayload& op = rec.lock_op();
+      Lcb& lcb = folded[op.lock_name];
+      lcb.name = op.lock_name;
+      auto erase_txn = [&](std::vector<LockEntry>& list) {
+        for (size_t i = 0; i < list.size(); ++i) {
+          if (list[i].txn == rec.txn) {
+            list.erase(list.begin() + i);
+            return;
+          }
+        }
+      };
+      switch (op.op) {
+        case LockOpPayload::Op::kAcquire:
+          erase_txn(lcb.holders);
+          erase_txn(lcb.waiters);
+          lcb.holders.push_back(LockEntry{rec.txn, op.mode});
+          break;
+        case LockOpPayload::Op::kQueue:
+          erase_txn(lcb.waiters);
+          lcb.waiters.push_back(LockEntry{rec.txn, op.mode});
+          break;
+        case LockOpPayload::Op::kRelease:
+          erase_txn(lcb.holders);
+          erase_txn(lcb.waiters);
+          break;
+      }
+    });
+  }
+
+  for (auto& [name, expected] : folded) {
+    if (expected.holders.empty() && expected.waiters.empty()) continue;
+    SMDB_ASSIGN_OR_RETURN(Lcb current, locks.GetLcb(performer, name));
+    auto same = [](const std::vector<LockEntry>& a,
+                   const std::vector<LockEntry>& b) {
+      if (a.size() != b.size()) return false;
+      for (const auto& e : a) {
+        if (std::find(b.begin(), b.end(), e) == b.end()) return false;
+      }
+      return true;
+    };
+    if (same(current.holders, expected.holders) &&
+        same(current.waiters, expected.waiters)) {
+      continue;  // LCB survived intact
+    }
+    SMDB_RETURN_IF_ERROR(locks.RebuildLcb(performer, expected));
+    ++ctx.out.lcbs_rebuilt;
+  }
+  return Status::Ok();
+}
+
+Result<RecoveryOutcome> RecoveryManager::Run(
+    const std::vector<NodeId>& crashed) {
+  Ctx ctx;
+  SMDB_RETURN_IF_ERROR(BuildContext(crashed, &ctx));
+  Machine& m = db_->machine();
+  m.SyncClocks();
+  SimTime t0 = m.GlobalTime();
+
+  Status s;
+  switch (db_->config().recovery.restart) {
+    case RestartKind::kRedoAll:
+      s = RunRedoAll(ctx);
+      break;
+    case RestartKind::kSelectiveRedo:
+      s = RunSelectiveRedo(ctx);
+      break;
+    case RestartKind::kRebootAll:
+      s = RunRebootAll(ctx);
+      break;
+    case RestartKind::kAbortDependents:
+      s = RunAbortDependents(ctx);
+      break;
+  }
+  SMDB_RETURN_IF_ERROR(s);
+
+  // Parallel transactions (section 9): the crash of any participant node
+  // aborts the entire transaction. Crashed branches were handled by the
+  // scheme above; surviving branches roll back normally on their intact
+  // logs. These aborts are required by atomicity — they are not counted as
+  // "unnecessary".
+  std::set<TxnId> sibling_aborts;
+  for (Transaction* t : ctx.crashed_active) {
+    const std::vector<TxnId>* group = db_->txn().GroupOf(t->id);
+    if (group == nullptr) continue;
+    for (TxnId sib : *group) {
+      Transaction* st = db_->txn().Find(sib);
+      if (st != nullptr && st->state == TxnState::kActive &&
+          !ctx.crashed_set.contains(st->node())) {
+        sibling_aborts.insert(sib);
+      }
+    }
+  }
+  for (TxnId sib : sibling_aborts) {
+    SMDB_RETURN_IF_ERROR(db_->txn().Abort(db_->txn().Find(sib)));
+    ctx.out.annulled.push_back(sib);
+  }
+  if (!sibling_aborts.empty()) {
+    std::vector<TxnId> kept;
+    for (TxnId t : ctx.out.preserved) {
+      if (!sibling_aborts.contains(t)) kept.push_back(t);
+    }
+    ctx.out.preserved = std::move(kept);
+  }
+
+  // Annul the crashed transactions (their effects are undone now).
+  for (Transaction* t : ctx.crashed_active) {
+    db_->txn().MarkCrashAnnulled(t);
+  }
+
+  m.SyncClocks();
+  ctx.out.recovery_time_ns = m.GlobalTime() - t0;
+  return ctx.out;
+}
+
+}  // namespace smdb

@@ -1,0 +1,107 @@
+#ifndef SMDB_CORE_RECOVERY_MANAGER_H_
+#define SMDB_CORE_RECOVERY_MANAGER_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/recovery.h"
+#include "txn/transaction.h"
+#include "wal/log_record.h"
+
+namespace smdb {
+
+class Database;
+
+/// Orchestrates restart recovery after one or more node crashes, running
+/// whichever scheme the database's RecoveryConfig selects:
+///
+///  * Redo All (section 4.1.2): discard all cached DB lines, reload the
+///    stable images, redo from every reachable log, undo crashed
+///    uncommitted work from stable logs, recover the lock table.
+///  * Selective Redo: re-install only lost lines, redo only what neither
+///    survived in a cache nor reached the stable database, undo migrated
+///    crashed updates via the per-record undo tags, recover the lock table.
+///  * RebootAll / AbortDependents baselines.
+///
+/// Neither IFA scheme ever consults a crashed node's volatile log (it no
+/// longer exists); everything comes from stable storage, surviving caches,
+/// surviving volatile logs, and the undo tags.
+class RecoveryManager {
+ public:
+  explicit RecoveryManager(Database* db);
+
+  /// Runs restart recovery for the given crashed set (the machine must
+  /// already reflect the crashes). Returns what was done.
+  Result<RecoveryOutcome> Run(const std::vector<NodeId>& crashed);
+
+ private:
+  struct Ctx {
+    std::vector<NodeId> crashed;
+    std::vector<NodeId> survivors;
+    std::set<NodeId> crashed_set;
+    std::vector<Transaction*> crashed_active;
+    std::vector<Transaction*> surviving_active;
+    std::set<TxnId> crashed_active_ids;
+    /// Every transaction whose updates must not count as committed during
+    /// reconstruction: all currently-active transactions plus transactions
+    /// that appear in a crashed node's stable log without a commit record.
+    std::set<TxnId> uncommitted_ids;
+    RecoveryOutcome out;
+    size_t rr = 0;
+
+    NodeId NextSurvivor() {
+      NodeId n = survivors[rr % survivors.size()];
+      ++rr;
+      return n;
+    }
+  };
+
+  Status BuildContext(const std::vector<NodeId>& crashed, Ctx* ctx);
+
+  // Shared passes -------------------------------------------------------
+
+  /// Redo pass: replays update/index records (lsn > checkpoint) from every
+  /// survivor's full log and every crashed node's stable log, guarded by
+  /// USN comparison (idempotent, order-free).
+  Status ReplayLogsWithGuard(Ctx& ctx);
+
+  /// Undoes uncommitted work found in crashed nodes' stable logs (stolen
+  /// updates and pre-crash aborts whose CLRs were lost).
+  Status UndoCrashedFromStableLogs(Ctx& ctx);
+
+  /// Selective Redo's tag scan: each survivor sweeps its cache for records
+  /// and index entries tagged with a crashed node and undoes them using
+  /// last committed values from stable store.
+  Status TagScanUndo(Ctx& ctx);
+
+  /// Lock-table recovery: clear lost LCB lines, drop crashed transactions'
+  /// locks, rebuild LCBs of surviving active transactions from surviving
+  /// logs (including *read* locks, which is why they are logged).
+  Status RecoverLockTable(Ctx& ctx);
+
+  Status ApplyRedoUpdate(Ctx& ctx, NodeId performer, const LogRecord& rec);
+  Status ApplyRedoIndexOp(Ctx& ctx, NodeId performer, const LogRecord& rec);
+  /// Re-applies an early-committed structural change from its physical
+  /// page images (guarded by the Page-LSN).
+  Status ApplyRedoStructural(Ctx& ctx, NodeId performer,
+                             const LogRecord& rec);
+
+  // Schemes --------------------------------------------------------------
+
+  Status RunRedoAll(Ctx& ctx);          // redo_all.cc
+  Status RunSelectiveRedo(Ctx& ctx);    // selective_redo.cc
+  Status RunRebootAll(Ctx& ctx);        // baselines.cc
+  Status RunAbortDependents(Ctx& ctx);  // baselines.cc
+
+  /// True if `txn` has a commit record in its node's stable log.
+  bool CommittedInStableLog(TxnId txn) const;
+
+  Database* db_;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_CORE_RECOVERY_MANAGER_H_

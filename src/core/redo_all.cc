@@ -1,0 +1,54 @@
+#include "core/database.h"
+#include "core/recovery_manager.h"
+
+namespace smdb {
+
+// Redo All (section 4.1.2):
+//   1. On each surviving node, all cached database records are discarded
+//      from volatile memory (this also implicitly undoes any uncommitted
+//      updates that migrated to surviving caches — including the crashed
+//      transactions' updates, whose volatile undo records are gone).
+//   2. The cache of database objects is reconstructed from the stable
+//      database plus the redo logs: every update not reflected in the
+//      stable database is redone (committed *and* surviving-active work —
+//      the no-force policy makes redo of committed transactions necessary,
+//      while the steal policy means some undo of crashed transactions from
+//      stable logs may still be required).
+Status RecoveryManager::RunRedoAll(Ctx& ctx) {
+  Machine& m = db_->machine();
+
+  // Step 1: discard every database line (heap pages and index pages) from
+  // all caches and volatile memory.
+  auto discard_pages = [&](const std::vector<PageId>& pages) -> Status {
+    for (PageId p : pages) {
+      SMDB_ASSIGN_OR_RETURN(Addr base, db_->buffers().BaseOf(p));
+      m.DiscardRange(base, db_->buffers().page_size());
+    }
+    return Status::Ok();
+  };
+  SMDB_RETURN_IF_ERROR(discard_pages(db_->records().pages()));
+  SMDB_RETURN_IF_ERROR(discard_pages(db_->index().pages()));
+
+  // Step 2a: reload the stable images.
+  auto reload_pages = [&](const std::vector<PageId>& pages) -> Status {
+    for (PageId p : pages) {
+      SMDB_RETURN_IF_ERROR(db_->buffers().ReinstallPage(ctx.NextSurvivor(), p));
+      ++ctx.out.pages_reloaded;
+    }
+    return Status::Ok();
+  };
+  SMDB_RETURN_IF_ERROR(reload_pages(db_->records().pages()));
+  SMDB_RETURN_IF_ERROR(reload_pages(db_->index().pages()));
+
+  // Step 2b: redo from every reachable log.
+  SMDB_RETURN_IF_ERROR(ReplayLogsWithGuard(ctx));
+
+  // Undo uncommitted work of crashed transactions that reached stable
+  // store (steal). Purely volatile crashed updates vanished with step 1.
+  SMDB_RETURN_IF_ERROR(UndoCrashedFromStableLogs(ctx));
+
+  // Lock space recovery (section 4.2.2).
+  return RecoverLockTable(ctx);
+}
+
+}  // namespace smdb

@@ -1,0 +1,49 @@
+#include "core/database.h"
+#include "core/recovery_manager.h"
+
+namespace smdb {
+
+// Selective Redo (section 4.1.2):
+//   1. Each surviving node performs redo only for those updates that were
+//      exclusively resident on a crashed node: an update needs no redo if
+//      it reached the stable database or if its line is still cached on a
+//      surviving node. Implementation: re-install the *lost* lines from the
+//      stable database, then replay logs with the USN guard — the guard
+//      hits exactly the paper's two no-redo conditions (the stable image
+//      satisfies "propagated", a surviving cache line satisfies "resident").
+//   2. Each surviving node undoes the updates of crash-annulled
+//      transactions found via the undo tags stored in each record's cache
+//      line, installing last committed values from stable store.
+Status RecoveryManager::RunSelectiveRedo(Ctx& ctx) {
+  // Step 0: re-materialise lost lines from the stable database (the probe —
+  // ProbeLine, i.e. "cache miss with I/O disabled" — is what decides
+  // lost-ness inside ReinstallLostLines).
+  auto reinstall = [&](const std::vector<PageId>& pages) -> Status {
+    for (PageId p : pages) {
+      SMDB_ASSIGN_OR_RETURN(
+          int n, db_->buffers().ReinstallLostLines(ctx.NextSurvivor(), p));
+      if (n > 0) {
+        ctx.out.lines_reinstalled += n;
+        ++ctx.out.pages_reloaded;
+      }
+    }
+    return Status::Ok();
+  };
+  SMDB_RETURN_IF_ERROR(reinstall(db_->records().pages()));
+  SMDB_RETURN_IF_ERROR(reinstall(db_->index().pages()));
+
+  // Step 1: selective redo.
+  SMDB_RETURN_IF_ERROR(ReplayLogsWithGuard(ctx));
+
+  // Step 2a: undo stolen/stable-logged uncommitted work of crashed nodes.
+  SMDB_RETURN_IF_ERROR(UndoCrashedFromStableLogs(ctx));
+
+  // Step 2b: tag-scan undo of crashed transactions' updates that migrated
+  // to surviving caches (no stable log record exists for these).
+  SMDB_RETURN_IF_ERROR(TagScanUndo(ctx));
+
+  // Lock space recovery (section 4.2.2).
+  return RecoverLockTable(ctx);
+}
+
+}  // namespace smdb

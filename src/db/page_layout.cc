@@ -1,0 +1,79 @@
+#include "db/page_layout.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace smdb {
+
+PageLayout::PageLayout(uint32_t page_size, uint32_t line_size,
+                       uint16_t record_data_size)
+    : page_size_(page_size),
+      line_size_(line_size),
+      record_data_size_(record_data_size) {
+  assert(page_size_ % line_size_ == 0);
+  assert(slot_bytes() <= line_size_);
+  slots_per_line_ = static_cast<uint16_t>(line_size_ / slot_bytes());
+  slots_per_page_ =
+      static_cast<uint16_t>((lines_per_page() - 1) * slots_per_line_);
+}
+
+uint32_t PageLayout::SlotOffset(uint16_t slot) const {
+  assert(slot < slots_per_page_);
+  uint32_t line = LineIndexOfSlot(slot);
+  uint32_t within = slot % slots_per_line_;
+  return line * line_size_ + within * slot_bytes();
+}
+
+std::vector<uint16_t> PageLayout::SlotsInLineIndex(uint32_t line_index) const {
+  std::vector<uint16_t> out;
+  if (line_index == 0 || line_index >= lines_per_page()) return out;
+  uint16_t first = static_cast<uint16_t>((line_index - 1) * slots_per_line_);
+  for (uint16_t i = 0; i < slots_per_line_ && first + i < slots_per_page_;
+       ++i) {
+    out.push_back(static_cast<uint16_t>(first + i));
+  }
+  return out;
+}
+
+std::vector<uint8_t> PageLayout::FormatPage(PageId page) const {
+  std::vector<uint8_t> img(page_size_, 0);
+  uint32_t magic = kMagic;
+  std::memcpy(img.data(), &magic, 4);
+  std::memcpy(img.data() + 4, &page, 4);
+  uint64_t page_lsn = 0;
+  std::memcpy(img.data() + kPageLsnOffset, &page_lsn, 8);
+  uint16_t nslots = slots_per_page_;
+  std::memcpy(img.data() + 16, &nslots, 2);
+  uint16_t rds = record_data_size_;
+  std::memcpy(img.data() + 18, &rds, 2);
+  return img;
+}
+
+SlotImage PageLayout::DecodeSlot(const std::vector<uint8_t>& page_image,
+                                 uint16_t slot) const {
+  assert(page_image.size() == page_size_);
+  return DecodeSlotBuf(page_image.data() + SlotOffset(slot));
+}
+
+void PageLayout::EncodeSlot(const SlotImage& img, uint8_t* buf) const {
+  assert(img.data.size() == record_data_size_);
+  std::memcpy(buf, &img.usn, 8);
+  std::memcpy(buf + 8, &img.tag, 2);
+  std::memcpy(buf + 10, img.data.data(), record_data_size_);
+}
+
+SlotImage PageLayout::DecodeSlotBuf(const uint8_t* buf) const {
+  SlotImage img;
+  std::memcpy(&img.usn, buf, 8);
+  std::memcpy(&img.tag, buf + 8, 2);
+  img.data.assign(buf + 10, buf + 10 + record_data_size_);
+  return img;
+}
+
+uint64_t PageLayout::PageLsnOf(const std::vector<uint8_t>& page_image) {
+  uint64_t v = 0;
+  std::memcpy(&v, page_image.data() + kPageLsnOffset, 8);
+  return v;
+}
+
+}  // namespace smdb

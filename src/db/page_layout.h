@@ -1,0 +1,101 @@
+#ifndef SMDB_DB_PAGE_LAYOUT_H_
+#define SMDB_DB_PAGE_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace smdb {
+
+/// Undo-tag value meaning "not active" (section 4.1.2: "once the data is no
+/// longer active, the node ID is assigned a null value"). An active record
+/// updated by a transaction on node n carries tag n + 1.
+inline constexpr uint16_t kTagNone = 0;
+
+constexpr uint16_t TagForNode(NodeId node) {
+  return static_cast<uint16_t>(node + 1);
+}
+constexpr NodeId NodeOfTag(uint16_t tag) {
+  return static_cast<NodeId>(tag - 1);
+}
+
+/// Decoded image of one record slot.
+struct SlotImage {
+  /// USN of the update that produced this version (0 = initial).
+  uint64_t usn = 0;
+  /// Undo tag: kTagNone, or TagForNode(n) while an active transaction on
+  /// node n has updated the record. Stored *in the same cache line* as the
+  /// record, per the paper's Tagging Rule.
+  uint16_t tag = kTagNone;
+  std::vector<uint8_t> data;
+};
+
+/// Fixed-size-record slotted page layout.
+///
+/// Line 0 is the page header (the Page-LSN lives in the first cache line,
+/// matching the convention in section 6). Record slots are packed into the
+/// remaining lines and never span a line boundary. Packing multiple records
+/// per cache line is the default — it is precisely the space-efficient
+/// choice that creates the paper's recovery hazards.
+///
+/// Header layout (byte offsets): magic u32 @0, page_id u32 @4,
+/// page_lsn u64 @8, nslots u16 @16, record_data_size u16 @18.
+///
+/// Slot layout: usn u64 @0, tag u16 @8, data @10.
+class PageLayout {
+ public:
+  static constexpr uint32_t kMagic = 0x534D4442;  // "SMDB"
+  static constexpr uint32_t kSlotHeaderBytes = 10;
+  static constexpr uint32_t kPageLsnOffset = 8;
+
+  PageLayout(uint32_t page_size, uint32_t line_size,
+             uint16_t record_data_size);
+
+  uint32_t page_size() const { return page_size_; }
+  uint32_t line_size() const { return line_size_; }
+  uint16_t record_data_size() const { return record_data_size_; }
+  uint32_t slot_bytes() const { return kSlotHeaderBytes + record_data_size_; }
+  uint16_t slots_per_line() const { return slots_per_line_; }
+  uint16_t slots_per_page() const { return slots_per_page_; }
+  uint32_t lines_per_page() const { return page_size_ / line_size_; }
+
+  /// Byte offset of slot `slot` within its page.
+  uint32_t SlotOffset(uint16_t slot) const;
+
+  /// Index of the line (within the page) that contains `slot`.
+  uint32_t LineIndexOfSlot(uint16_t slot) const {
+    return 1 + slot / slots_per_line_;
+  }
+
+  /// Slot indices contained in page line `line_index` (0 = header line,
+  /// which holds none).
+  std::vector<uint16_t> SlotsInLineIndex(uint32_t line_index) const;
+
+  /// Builds a freshly formatted page image (all slots zeroed, tag none).
+  std::vector<uint8_t> FormatPage(PageId page) const;
+
+  /// Decodes slot `slot` from a full page image.
+  SlotImage DecodeSlot(const std::vector<uint8_t>& page_image,
+                       uint16_t slot) const;
+
+  /// Encodes `img` into `buf` (which must hold slot_bytes()).
+  void EncodeSlot(const SlotImage& img, uint8_t* buf) const;
+
+  /// Decodes a slot from a raw slot-sized buffer.
+  SlotImage DecodeSlotBuf(const uint8_t* buf) const;
+
+  /// Reads the Page-LSN from a page image.
+  static uint64_t PageLsnOf(const std::vector<uint8_t>& page_image);
+
+ private:
+  uint32_t page_size_;
+  uint32_t line_size_;
+  uint16_t record_data_size_;
+  uint16_t slots_per_line_;
+  uint16_t slots_per_page_;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_DB_PAGE_LAYOUT_H_

@@ -1,0 +1,397 @@
+#include "hash/hash_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/machine.h"
+
+namespace smdb {
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 29;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+}  // namespace
+
+HashIndex::HashIndex(Machine* machine, LogManager* log, UsnSource* usn,
+                     LbmPolicy* lbm, uint32_t index_id, uint32_t capacity)
+    : machine_(machine),
+      log_(log),
+      usn_(usn),
+      lbm_(lbm),
+      index_id_(index_id),
+      capacity_(capacity) {
+  base_ = machine_->AllocShared(static_cast<size_t>(capacity_) * kEntryBytes);
+  stable_snapshot_.assign(static_cast<size_t>(capacity_) * kEntryBytes, 0);
+}
+
+LineAddr HashIndex::SlotLine(uint32_t slot) const {
+  return machine_->LineOf(SlotAddr(slot));
+}
+
+uint32_t HashIndex::HomeSlot(uint64_t key) const {
+  return static_cast<uint32_t>(Mix(key) % capacity_);
+}
+
+HashIndex::Entry HashIndex::DecodeEntry(const uint8_t* buf) const {
+  Entry e;
+  std::memcpy(&e.key, buf, 8);
+  std::memcpy(&e.rid.page, buf + 8, 4);
+  std::memcpy(&e.rid.slot, buf + 12, 2);
+  e.state = static_cast<EntryState>(buf[14]);
+  e.tag = buf[15];
+  std::memcpy(&e.usn, buf + 16, 8);
+  return e;
+}
+
+Result<HashIndex::Entry> HashIndex::ReadEntry(NodeId node,
+                                              uint32_t slot) const {
+  uint8_t buf[kEntryBytes];
+  SMDB_RETURN_IF_ERROR(
+      machine_->Read(node, SlotAddr(slot), buf, sizeof(buf)));
+  return DecodeEntry(buf);
+}
+
+Status HashIndex::WriteEntry(NodeId node, uint32_t slot, const Entry& e) {
+  uint8_t buf[kEntryBytes] = {0};
+  std::memcpy(buf, &e.key, 8);
+  std::memcpy(buf + 8, &e.rid.page, 4);
+  std::memcpy(buf + 12, &e.rid.slot, 2);
+  buf[14] = static_cast<uint8_t>(e.state);
+  buf[15] = e.tag;
+  std::memcpy(buf + 16, &e.usn, 8);
+  return machine_->Write(node, SlotAddr(slot), buf, sizeof(buf));
+}
+
+Result<uint32_t> HashIndex::FindKeySlot(NodeId node, uint64_t key) const {
+  // Live entries take precedence over a cohabiting tombstone (a key can
+  // have both while a re-inserting transaction is active).
+  uint32_t h = HomeSlot(key);
+  uint32_t limit = std::min(kProbeWindow, capacity_);
+  uint32_t tomb = capacity_;
+  for (uint32_t i = 0; i < limit; ++i) {
+    uint32_t slot = (h + i) % capacity_;
+    SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(node, slot));
+    if (e.state == EntryState::kFree || e.key != key) continue;
+    if (e.state == EntryState::kLive) return slot;
+    if (tomb == capacity_) tomb = slot;
+  }
+  if (tomb != capacity_) return tomb;
+  return Status::NotFound("key not in table");
+}
+
+Result<uint32_t> HashIndex::FindFreeSlot(NodeId node, uint64_t key) {
+  uint32_t h = HomeSlot(key);
+  uint32_t limit = std::min(kProbeWindow, capacity_);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    for (uint32_t i = 0; i < limit; ++i) {
+      uint32_t slot = (h + i) % capacity_;
+      SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(node, slot));
+      if (e.state == EntryState::kFree) return slot;
+    }
+    // Window full: purge committed tombstones (their space became
+    // reusable when the deleting transactions committed).
+    uint32_t freed = 0;
+    for (uint32_t i = 0; i < limit; ++i) {
+      uint32_t slot = (h + i) % capacity_;
+      SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(node, slot));
+      if (e.state == EntryState::kTombstone && e.tag == 0) {
+        SMDB_RETURN_IF_ERROR(WriteEntry(node, slot, Entry{}));
+        ++freed;
+        ++stats_.purged_tombstones;
+      }
+    }
+    if (freed == 0) break;
+  }
+  return Status::TryAgain("hash probe window full");
+}
+
+Status HashIndex::LogOp(NodeId node, TxnId txn, IndexOpPayload payload,
+                        Lsn* chain, LineAddr line, bool is_clr) {
+  payload.tree_id = index_id_;
+  payload.is_clr = is_clr;
+  LogRecord rec;
+  rec.type = LogRecordType::kIndexOp;
+  rec.txn = txn;
+  rec.prev_lsn = chain != nullptr ? *chain : kInvalidLsn;
+  rec.payload = payload;
+  Lsn lsn = log_->Append(node, std::move(rec));
+  if (chain != nullptr) *chain = lsn;
+  return lbm_->OnUpdateLogged(node, lsn, {line});
+}
+
+Status HashIndex::Insert(NodeId node, TxnId txn, uint64_t key, RecordId rid,
+                         uint8_t tag, Lsn* chain) {
+  uint32_t slot;
+  auto existing = FindKeySlot(node, key);
+  if (existing.ok()) {
+    SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(node, *existing));
+    if (e.state == EntryState::kLive) {
+      return Status::InvalidArgument("duplicate key");
+    }
+    if (e.tag == 0) {
+      slot = *existing;  // committed tombstone: space is reusable
+    } else {
+      // Uncommitted tombstone = undo information; re-insert takes a fresh
+      // slot so the before-image survives an annulment.
+      SMDB_ASSIGN_OR_RETURN(slot, FindFreeSlot(node, key));
+    }
+  } else if (existing.status().IsNotFound()) {
+    SMDB_ASSIGN_OR_RETURN(slot, FindFreeSlot(node, key));
+  } else {
+    return existing.status();
+  }
+
+  LineAddr line = SlotLine(slot);
+  SMDB_RETURN_IF_ERROR(machine_->GetLine(node, line));
+  Entry e;
+  e.key = key;
+  e.rid = rid;
+  e.state = EntryState::kLive;
+  e.tag = tag;
+  e.usn = usn_->Next();
+  Status s = WriteEntry(node, slot, e);
+  if (s.ok()) {
+    IndexOpPayload p;
+    p.op = IndexOpPayload::Op::kInsert;
+    p.key = key;
+    p.value = rid;
+    p.usn = e.usn;
+    s = LogOp(node, txn, p, chain, line, /*is_clr=*/false);
+  }
+  machine_->ReleaseLine(node, line);
+  SMDB_RETURN_IF_ERROR(s);
+  ++stats_.inserts;
+  return Status::Ok();
+}
+
+Status HashIndex::Delete(NodeId node, TxnId txn, uint64_t key, uint8_t tag,
+                         Lsn* chain) {
+  auto slot_or = FindKeySlot(node, key);
+  if (!slot_or.ok()) return slot_or.status();
+  SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(node, *slot_or));
+  if (e.state != EntryState::kLive) return Status::NotFound("not live");
+
+  LineAddr line = SlotLine(*slot_or);
+  SMDB_RETURN_IF_ERROR(machine_->GetLine(node, line));
+  RecordId old_rid = e.rid;
+  // Deleting this transaction's own uncommitted insert removes the entry
+  // physically (never-committed data must not become an unmarkable
+  // tombstone) and logs a redo-only compensation.
+  bool own_uncommitted =
+      e.state == EntryState::kLive && e.tag != 0 && e.tag == tag;
+  uint64_t usn = usn_->Next();
+  Status s;
+  if (own_uncommitted) {
+    s = WriteEntry(node, *slot_or, Entry{});
+  } else {
+    e.state = EntryState::kTombstone;
+    e.tag = tag;
+    e.usn = usn;
+    s = WriteEntry(node, *slot_or, e);
+  }
+  if (s.ok()) {
+    IndexOpPayload p;
+    p.op = IndexOpPayload::Op::kDelete;
+    p.key = key;
+    p.value = old_rid;
+    p.usn = usn;
+    s = LogOp(node, txn, p, chain, line, own_uncommitted);
+  }
+  machine_->ReleaseLine(node, line);
+  SMDB_RETURN_IF_ERROR(s);
+  ++stats_.deletes;
+  return Status::Ok();
+}
+
+Result<std::optional<RecordId>> HashIndex::Lookup(NodeId node, uint64_t key) {
+  ++stats_.lookups;
+  auto slot_or = FindKeySlot(node, key);
+  if (!slot_or.ok()) {
+    if (slot_or.status().IsNotFound()) return std::optional<RecordId>{};
+    return slot_or.status();
+  }
+  SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(node, *slot_or));
+  if (e.state != EntryState::kLive) return std::optional<RecordId>{};
+  return std::optional<RecordId>{e.rid};
+}
+
+Status HashIndex::ClearTag(NodeId node, uint64_t key) {
+  // Clear every entry carrying the key (live entry + own tombstone).
+  uint32_t h = HomeSlot(key);
+  uint32_t limit = std::min(kProbeWindow, capacity_);
+  bool found = false;
+  for (uint32_t i = 0; i < limit; ++i) {
+    uint32_t slot = (h + i) % capacity_;
+    SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(node, slot));
+    if (e.state == EntryState::kFree || e.key != key) continue;
+    found = true;
+    if (e.tag == 0) continue;
+    LineAddr line = SlotLine(slot);
+    SMDB_RETURN_IF_ERROR(machine_->GetLine(node, line));
+    uint8_t none = 0;
+    Status s = machine_->Write(node, SlotAddr(slot) + 15, &none, 1);
+    machine_->ReleaseLine(node, line);
+    SMDB_RETURN_IF_ERROR(s);
+  }
+  return found ? Status::Ok() : Status::NotFound("no entry for key");
+}
+
+Status HashIndex::UndoInsert(NodeId node, uint64_t key) {
+  auto slot_or = FindKeySlot(node, key);  // prefers the live entry
+  if (!slot_or.ok()) {
+    if (slot_or.status().IsNotFound()) return Status::Ok();
+    return slot_or.status();
+  }
+  SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(node, *slot_or));
+  if (e.state != EntryState::kLive) return Status::Ok();  // nothing live
+  LineAddr line = SlotLine(*slot_or);
+  SMDB_RETURN_IF_ERROR(machine_->GetLine(node, line));
+  Status s = WriteEntry(node, *slot_or, Entry{});
+  machine_->ReleaseLine(node, line);
+  return s;
+}
+
+Status HashIndex::UndoDelete(NodeId node, uint64_t key) {
+  // Unmark specifically the tombstoned entry.
+  uint32_t h = HomeSlot(key);
+  uint32_t limit = std::min(kProbeWindow, capacity_);
+  for (uint32_t i = 0; i < limit; ++i) {
+    uint32_t slot = (h + i) % capacity_;
+    SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(node, slot));
+    if (e.state != EntryState::kTombstone || e.key != key) continue;
+    LineAddr line = SlotLine(slot);
+    SMDB_RETURN_IF_ERROR(machine_->GetLine(node, line));
+    e.state = EntryState::kLive;
+    e.tag = 0;
+    e.usn = usn_->Next();
+    Status s = WriteEntry(node, slot, e);
+    machine_->ReleaseLine(node, line);
+    return s;
+  }
+  return Status::NotFound("no tombstone for key");
+}
+
+Status HashIndex::CheckpointToStable(NodeId node) {
+  SMDB_RETURN_IF_ERROR(machine_->SnoopRead(base_, stable_snapshot_.data(),
+                                           stable_snapshot_.size()));
+  machine_->Tick(node, machine_->config().timing.disk_write_ns);
+  return Status::Ok();
+}
+
+Status HashIndex::RecoverAfterCrash(NodeId performer,
+                                    const std::set<NodeId>& crashed,
+                                    const std::set<TxnId>& uncommitted) {
+  // 1. Re-install lost lines from the stable snapshot.
+  size_t line_size = machine_->line_size();
+  size_t total = static_cast<size_t>(capacity_) * kEntryBytes;
+  for (size_t off = 0; off < total; off += line_size) {
+    LineAddr line = machine_->LineOf(base_ + off);
+    if (!machine_->IsLineLost(line)) continue;
+    size_t chunk = std::min(line_size, total - off);
+    machine_->InstallToMemory(base_ + off, stable_snapshot_.data() + off,
+                              chunk);
+  }
+  // 2. Redo logged operations in USN order (USN guard per entry).
+  std::vector<std::pair<IndexOpPayload, TxnId>> ops;
+  for (NodeId n = 0; n < machine_->num_nodes(); ++n) {
+    auto visit = [&](const LogRecord& rec) {
+      if (rec.type != LogRecordType::kIndexOp) return;
+      if (rec.index_op().tree_id != index_id_) return;
+      ops.emplace_back(rec.index_op(), rec.txn);
+    };
+    if (machine_->NodeAlive(n)) {
+      log_->ForEachAll(n, visit);
+    } else {
+      log_->ForEachStable(n, visit);
+    }
+  }
+  std::sort(ops.begin(), ops.end(), [](const auto& a, const auto& b) {
+    return a.first.usn < b.first.usn;
+  });
+  for (const auto& [op, txn] : ops) {
+    auto slot_or = FindKeySlot(performer, op.key);
+    uint8_t tag = (!op.is_clr && uncommitted.contains(txn))
+                      ? static_cast<uint8_t>(TxnNode(txn) + 1)
+                      : 0;
+    if (op.op == IndexOpPayload::Op::kInsert) {
+      uint32_t slot;
+      if (slot_or.ok()) {
+        SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(performer, *slot_or));
+        if (e.usn >= op.usn) continue;
+        if (e.state == EntryState::kTombstone && e.tag != 0) {
+          // Mirror the runtime rule: never overwrite undo information.
+          auto fresh = FindFreeSlot(performer, op.key);
+          if (!fresh.ok()) return fresh.status();
+          slot = *fresh;
+        } else {
+          slot = *slot_or;
+        }
+      } else if (slot_or.status().IsNotFound()) {
+        auto free = FindFreeSlot(performer, op.key);
+        if (!free.ok()) return free.status();
+        slot = *free;
+      } else {
+        return slot_or.status();
+      }
+      Entry e;
+      e.key = op.key;
+      e.rid = op.value;
+      e.state = EntryState::kLive;
+      e.tag = tag;
+      e.usn = op.usn;
+      SMDB_RETURN_IF_ERROR(WriteEntry(performer, slot, e));
+      ++stats_.recovered_redo;
+    } else {
+      if (!slot_or.ok()) continue;  // nothing to tombstone
+      SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(performer, *slot_or));
+      if (e.usn >= op.usn) continue;
+      if (op.is_clr) {
+        SMDB_RETURN_IF_ERROR(WriteEntry(performer, *slot_or, Entry{}));
+      } else {
+        e.state = EntryState::kTombstone;
+        e.tag = tag;
+        e.usn = op.usn;
+        SMDB_RETURN_IF_ERROR(WriteEntry(performer, *slot_or, e));
+      }
+      ++stats_.recovered_redo;
+    }
+  }
+  // 3. Tag-based undo: entries tagged with crashed nodes whose owners are
+  // uncommitted are rolled back (inserts removed, deletes unmarked).
+  for (uint32_t slot = 0; slot < capacity_; ++slot) {
+    SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(performer, slot));
+    if (e.state == EntryState::kFree || e.tag == 0) continue;
+    NodeId owner = static_cast<NodeId>(e.tag - 1);
+    if (!crashed.contains(owner)) continue;
+    if (e.state == EntryState::kLive) {
+      SMDB_RETURN_IF_ERROR(WriteEntry(performer, slot, Entry{}));
+    } else {
+      e.state = EntryState::kLive;
+      e.tag = 0;
+      SMDB_RETURN_IF_ERROR(WriteEntry(performer, slot, e));
+    }
+    ++stats_.recovered_undo;
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<HashIndex::Entry>> HashIndex::Snapshot() const {
+  std::vector<Entry> out;
+  std::vector<uint8_t> buf(kEntryBytes);
+  for (uint32_t slot = 0; slot < capacity_; ++slot) {
+    SMDB_RETURN_IF_ERROR(
+        machine_->SnoopRead(SlotAddr(slot), buf.data(), buf.size()));
+    Entry e = DecodeEntry(buf.data());
+    if (e.state != EntryState::kFree) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace smdb

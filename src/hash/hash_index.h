@@ -1,0 +1,136 @@
+#ifndef SMDB_HASH_HASH_INDEX_H_
+#define SMDB_HASH_HASH_INDEX_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/lbm_policy.h"
+#include "wal/log_manager.h"
+
+namespace smdb {
+
+class Machine;
+
+struct HashIndexStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t lookups = 0;
+  uint64_t purged_tombstones = 0;
+  uint64_t recovered_redo = 0;
+  uint64_t recovered_undo = 0;
+};
+
+/// A shared-memory hash index — the first entry in section 4.2's list of
+/// database management structures ("hash tables, index structures such as
+/// B-trees, and tables used for lock management"). Same recovery recipe as
+/// the B+-tree's non-structural path:
+///  * entries live in shared-memory cache lines (several per line, so they
+///    migrate between the nodes that touch them),
+///  * every insert/delete is logged logically into the invoking node's
+///    volatile log inside the line-lock critical section (Volatile LBM),
+///  * deletes are logical (tombstones) so their undo is an unmarking and
+///    uncommitted space is never reused,
+///  * each active entry carries an undo tag in its own cache line.
+///
+/// The table is fixed-capacity open addressing with a bounded probe window
+/// (full-window scans make slot reclamation safe); committed tombstones
+/// are purged lazily when a window fills.
+///
+/// Entry layout (24 bytes, 5 per 128-byte line): key u64 @0, rid_page u32
+/// @8, rid_slot u16 @12, state u8 @14, tag u8 @15, usn u64 @16.
+class HashIndex {
+ public:
+  enum class EntryState : uint8_t {
+    kFree = 0,
+    kLive = 1,
+    kTombstone = 2,
+  };
+
+  struct Entry {
+    uint64_t key = 0;
+    RecordId rid;
+    EntryState state = EntryState::kFree;
+    uint8_t tag = 0;
+    uint64_t usn = 0;
+  };
+
+  HashIndex(Machine* machine, LogManager* log, UsnSource* usn,
+            LbmPolicy* lbm, uint32_t index_id, uint32_t capacity);
+
+  uint32_t index_id() const { return index_id_; }
+  uint32_t capacity() const { return capacity_; }
+
+  /// Inserts key -> rid, tagged for `txn` on `node`. InvalidArgument on a
+  /// live duplicate, TryAgain when the probe window is full of live or
+  /// uncommitted entries.
+  Status Insert(NodeId node, TxnId txn, uint64_t key, RecordId rid,
+                uint8_t tag, Lsn* chain);
+
+  /// Logical delete. NotFound if no live entry.
+  Status Delete(NodeId node, TxnId txn, uint64_t key, uint8_t tag,
+                Lsn* chain);
+
+  Result<std::optional<RecordId>> Lookup(NodeId node, uint64_t key);
+
+  /// Commit support: clear an entry's undo tag.
+  Status ClearTag(NodeId node, uint64_t key);
+
+  /// Abort/recovery undo: physically remove an uncommitted insert.
+  Status UndoInsert(NodeId node, uint64_t key);
+  /// Abort/recovery undo: unmark an uncommitted logical delete.
+  Status UndoDelete(NodeId node, uint64_t key);
+
+  /// Writes the current table to its stable snapshot.
+  Status CheckpointToStable(NodeId node);
+
+  /// Restores the table after `crashed` nodes failed: re-installs lost
+  /// lines from the stable snapshot, redoes logged operations (survivors'
+  /// full logs + crashed stable logs, USN order), and undoes entries
+  /// tagged by crashed nodes whose transactions are in `uncommitted`.
+  Status RecoverAfterCrash(NodeId performer, const std::set<NodeId>& crashed,
+                           const std::set<TxnId>& uncommitted);
+
+  /// All non-free entries (snooped; verification).
+  Result<std::vector<Entry>> Snapshot() const;
+
+  HashIndexStats& stats() { return stats_; }
+
+ private:
+  static constexpr uint32_t kEntryBytes = 24;
+  static constexpr uint32_t kProbeWindow = 40;
+
+  Addr SlotAddr(uint32_t slot) const {
+    return base_ + static_cast<Addr>(slot) * kEntryBytes;
+  }
+  LineAddr SlotLine(uint32_t slot) const;
+  uint32_t HomeSlot(uint64_t key) const;
+
+  Result<Entry> ReadEntry(NodeId node, uint32_t slot) const;
+  Status WriteEntry(NodeId node, uint32_t slot, const Entry& e);
+  Entry DecodeEntry(const uint8_t* buf) const;
+
+  /// Finds the slot of `key` (live or tombstoned) within the probe window.
+  Result<uint32_t> FindKeySlot(NodeId node, uint64_t key) const;
+  /// Finds a free slot, purging committed tombstones if needed.
+  Result<uint32_t> FindFreeSlot(NodeId node, uint64_t key);
+
+  Status LogOp(NodeId node, TxnId txn, IndexOpPayload payload, Lsn* chain,
+               LineAddr line, bool is_clr);
+
+  Machine* machine_;
+  LogManager* log_;
+  UsnSource* usn_;
+  LbmPolicy* lbm_;
+  uint32_t index_id_;
+  uint32_t capacity_;
+  Addr base_ = 0;
+  std::vector<uint8_t> stable_snapshot_;
+  HashIndexStats stats_;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_HASH_HASH_INDEX_H_

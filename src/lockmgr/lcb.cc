@@ -1,0 +1,122 @@
+#include "lockmgr/lcb.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace smdb {
+
+LockMode Lcb::GrantedMode() const {
+  LockMode m = LockMode::kNone;
+  for (const auto& h : holders) {
+    if (h.mode == LockMode::kExclusive) return LockMode::kExclusive;
+    m = LockMode::kShared;
+  }
+  return m;
+}
+
+bool Lcb::CanGrant(TxnId txn, LockMode mode) const {
+  for (const auto& h : holders) {
+    if (h.txn == txn) continue;  // self-compatibility handled by caller
+    if (!Compatible(h.mode, mode)) return false;
+  }
+  // FIFO fairness: do not overtake an earlier waiter whose request
+  // conflicts with ours (prevents starvation of exclusive requests).
+  for (const auto& w : waiters) {
+    if (w.txn == txn) break;
+    if (!Compatible(w.mode, mode) || !Compatible(mode, w.mode)) return false;
+  }
+  return true;
+}
+
+LockEntry* Lcb::FindHolder(TxnId txn) {
+  for (auto& h : holders) {
+    if (h.txn == txn) return &h;
+  }
+  return nullptr;
+}
+
+LockEntry* Lcb::FindWaiter(TxnId txn) {
+  for (auto& w : waiters) {
+    if (w.txn == txn) return &w;
+  }
+  return nullptr;
+}
+
+LcbCodec::LcbCodec(uint32_t line_size, bool two_line)
+    : line_size_(line_size), two_line_(two_line) {
+  if (two_line_) {
+    holders_cap_ = (line_size_ - 9) / kEntryBytes;   // name + count
+    waiters_cap_ = (line_size_ - 1) / kEntryBytes;   // count only
+  } else {
+    size_t entries = (line_size_ - 10) / kEntryBytes;
+    holders_cap_ = (entries + 1) / 2;
+    waiters_cap_ = entries - holders_cap_;
+  }
+  assert(holders_cap_ >= 2 && waiters_cap_ >= 2);
+}
+
+namespace {
+
+void PutEntries(const std::vector<LockEntry>& list, uint8_t* p) {
+  for (const auto& e : list) {
+    std::memcpy(p, &e.txn, 8);
+    p[8] = static_cast<uint8_t>(e.mode);
+    p += 9;
+  }
+}
+
+std::vector<LockEntry> GetEntries(const uint8_t* p, size_t n) {
+  std::vector<LockEntry> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    LockEntry e;
+    std::memcpy(&e.txn, p, 8);
+    e.mode = static_cast<LockMode>(p[8]);
+    out.push_back(e);
+    p += 9;
+  }
+  return out;
+}
+
+}  // namespace
+
+void LcbCodec::Encode(const Lcb& lcb, uint8_t* buf) const {
+  assert(lcb.holders.size() <= holders_cap_);
+  assert(lcb.waiters.size() <= waiters_cap_);
+  std::memset(buf, 0, bytes());
+  if (two_line_) {
+    std::memcpy(buf, &lcb.name, 8);
+    buf[8] = static_cast<uint8_t>(lcb.holders.size());
+    PutEntries(lcb.holders, buf + 9);
+    uint8_t* l2 = buf + line_size_;
+    l2[0] = static_cast<uint8_t>(lcb.waiters.size());
+    PutEntries(lcb.waiters, l2 + 1);
+  } else {
+    std::memcpy(buf, &lcb.name, 8);
+    buf[8] = static_cast<uint8_t>(lcb.holders.size());
+    buf[9] = static_cast<uint8_t>(lcb.waiters.size());
+    PutEntries(lcb.holders, buf + 10);
+    PutEntries(lcb.waiters, buf + 10 + 9 * lcb.holders.size());
+  }
+}
+
+Lcb LcbCodec::Decode(const uint8_t* buf) const {
+  Lcb lcb;
+  std::memcpy(&lcb.name, buf, 8);
+  if (lcb.name == 0) return lcb;
+  if (two_line_) {
+    size_t nh = buf[8];
+    lcb.holders = GetEntries(buf + 9, nh);
+    const uint8_t* l2 = buf + line_size_;
+    size_t nw = l2[0];
+    lcb.waiters = GetEntries(l2 + 1, nw);
+  } else {
+    size_t nh = buf[8];
+    size_t nw = buf[9];
+    lcb.holders = GetEntries(buf + 10, nh);
+    lcb.waiters = GetEntries(buf + 10 + 9 * nh, nw);
+  }
+  return lcb;
+}
+
+}  // namespace smdb

@@ -1,0 +1,84 @@
+#ifndef SMDB_LOCKMGR_LCB_H_
+#define SMDB_LOCKMGR_LCB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "wal/log_record.h"
+
+namespace smdb {
+
+/// One entry in an LCB's holder or waiter list: the transaction (whose id
+/// encodes its node, which is what the Volatile LBM policy relies on) and
+/// the requested/granted mode.
+struct LockEntry {
+  TxnId txn = kInvalidTxn;
+  LockMode mode = LockMode::kNone;
+
+  friend bool operator==(const LockEntry&, const LockEntry&) = default;
+};
+
+/// In-memory (decoded) form of a Lock Control Block: the shared data
+/// structure of section 4.2.2 storing the current holders and waiters of
+/// one database lock.
+struct Lcb {
+  uint64_t name = 0;  // 0 = empty slot
+  std::vector<LockEntry> holders;
+  std::vector<LockEntry> waiters;
+
+  bool empty() const { return name == 0; }
+
+  /// Strongest granted mode (kNone if no holders).
+  LockMode GrantedMode() const;
+
+  /// True if `mode` can be granted to `txn` now: compatible with all other
+  /// holders and (to preserve FIFO fairness) no conflicting earlier waiter.
+  bool CanGrant(TxnId txn, LockMode mode) const;
+
+  LockEntry* FindHolder(TxnId txn);
+  LockEntry* FindWaiter(TxnId txn);
+};
+
+/// Serialises LCBs to/from their shared-memory representation.
+///
+/// Two layouts are supported, reproducing the design choice discussed in
+/// section 4.2.2:
+///  * single-line — the whole LCB spans exactly one cache line, so "a node
+///    crash will either destroy all or none of a specific LCB";
+///  * two-line — holders and waiters live in *different* cache lines, so a
+///    crash "could destroy arbitrary segments" of an LCB, and the restart
+///    procedure must rebuild the whole LCB from surviving logs.
+///
+/// Single-line byte layout: name u64 @0, nholders u8 @8, nwaiters u8 @9,
+/// then nholders+nwaiters entries of {txn u64, mode u8} each.
+/// Two-line layout: line 0 = name u64, nholders u8, holder entries;
+/// line 1 = nwaiters u8, waiter entries.
+class LcbCodec {
+ public:
+  LcbCodec(uint32_t line_size, bool two_line);
+
+  uint32_t lines() const { return two_line_ ? 2 : 1; }
+  uint32_t bytes() const { return lines() * line_size_; }
+  size_t holders_capacity() const { return holders_cap_; }
+  size_t waiters_capacity() const { return waiters_cap_; }
+
+  /// Encodes `lcb` into `buf` (bytes() long). Lists must be within
+  /// capacity.
+  void Encode(const Lcb& lcb, uint8_t* buf) const;
+
+  /// Decodes an LCB from `buf`.
+  Lcb Decode(const uint8_t* buf) const;
+
+ private:
+  static constexpr uint32_t kEntryBytes = 9;  // txn u64 + mode u8
+
+  uint32_t line_size_;
+  bool two_line_;
+  size_t holders_cap_;
+  size_t waiters_cap_;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_LOCKMGR_LCB_H_

@@ -1,0 +1,240 @@
+#include "os/disk_map.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/machine.h"
+
+namespace smdb {
+
+DiskMap::DiskMap(Machine* machine, LogManager* log, uint32_t map_id,
+                 uint32_t blocks)
+    : machine_(machine), log_(log), map_id_(map_id), blocks_(blocks) {
+  base_ = machine_->AllocShared(static_cast<size_t>(blocks_) * kEntryBytes);
+  stable_snapshot_.assign(static_cast<size_t>(blocks_) * kEntryBytes, 0);
+}
+
+LineAddr DiskMap::EntryLine(uint32_t block) const {
+  return machine_->LineOf(EntryAddr(block));
+}
+
+DiskMap::Entry DiskMap::DecodeEntry(const uint8_t* buf) const {
+  Entry e;
+  e.state = static_cast<BlockState>(buf[0]);
+  e.tag = buf[1];
+  std::memcpy(&e.usn, buf + 4, 4);
+  return e;
+}
+
+Result<DiskMap::Entry> DiskMap::ReadEntry(NodeId node,
+                                          uint32_t block) const {
+  uint8_t buf[kEntryBytes];
+  SMDB_RETURN_IF_ERROR(
+      machine_->Read(node, EntryAddr(block), buf, sizeof(buf)));
+  return DecodeEntry(buf);
+}
+
+Status DiskMap::WriteEntry(NodeId node, uint32_t block, const Entry& e) {
+  uint8_t buf[kEntryBytes] = {0};
+  buf[0] = static_cast<uint8_t>(e.state);
+  buf[1] = e.tag;
+  std::memcpy(buf + 4, &e.usn, 4);
+  return machine_->Write(node, EntryAddr(block), buf, sizeof(buf));
+}
+
+Status DiskMap::LogOp(NodeId node, uint32_t block, OsOpPayload::Op op,
+                      uint64_t usn) {
+  LogRecord rec;
+  rec.type = LogRecordType::kOsOp;
+  rec.txn = kInvalidTxn;
+  rec.payload = OsOpPayload{map_id_, block, op, usn};
+  log_->Append(node, std::move(rec));
+  return Status::Ok();
+}
+
+Result<uint32_t> DiskMap::Allocate(NodeId node) {
+  for (uint32_t block = 0; block < blocks_; ++block) {
+    SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(node, block));
+    if (e.state != BlockState::kFree) continue;
+    LineAddr line = EntryLine(block);
+    SMDB_RETURN_IF_ERROR(machine_->GetLine(node, line));
+    // Re-check under the line lock (another node may have raced here).
+    auto cur = ReadEntry(node, block);
+    if (!cur.ok() || cur->state != BlockState::kFree) {
+      machine_->ReleaseLine(node, line);
+      continue;
+    }
+    Entry next;
+    next.state = BlockState::kProvisional;
+    next.tag = static_cast<uint8_t>(node + 1);
+    next.usn = static_cast<uint32_t>(next_usn_++);
+    Status s = WriteEntry(node, block, next);
+    // Log before the line can migrate: Volatile LBM for the map.
+    if (s.ok()) s = LogOp(node, block, OsOpPayload::Op::kAllocate, next.usn);
+    machine_->ReleaseLine(node, line);
+    SMDB_RETURN_IF_ERROR(s);
+    ++stats_.allocations;
+    return block;
+  }
+  return Status::NotFound("disk map full");
+}
+
+Status DiskMap::Confirm(NodeId node, uint32_t block) {
+  LineAddr line = EntryLine(block);
+  SMDB_RETURN_IF_ERROR(machine_->GetLine(node, line));
+  auto cur = ReadEntry(node, block);
+  Status s = cur.ok() ? Status::Ok() : cur.status();
+  if (s.ok() && cur->state != BlockState::kProvisional) {
+    s = Status::InvalidArgument("block not provisional");
+  }
+  if (s.ok()) {
+    Entry next = *cur;
+    next.state = BlockState::kAllocated;
+    next.tag = 0;
+    next.usn = static_cast<uint32_t>(next_usn_++);
+    s = WriteEntry(node, block, next);
+    if (s.ok()) s = LogOp(node, block, OsOpPayload::Op::kConfirm, next.usn);
+  }
+  machine_->ReleaseLine(node, line);
+  SMDB_RETURN_IF_ERROR(s);
+  // A confirm is a durability point for the allocation's *intent*: force
+  // the log so the confirm survives even this node's crash.
+  SMDB_RETURN_IF_ERROR(log_->Force(node, node));
+  ++stats_.confirms;
+  return Status::Ok();
+}
+
+Status DiskMap::Free(NodeId node, uint32_t block) {
+  LineAddr line = EntryLine(block);
+  SMDB_RETURN_IF_ERROR(machine_->GetLine(node, line));
+  auto cur = ReadEntry(node, block);
+  Status s = cur.ok() ? Status::Ok() : cur.status();
+  if (s.ok() && cur->state == BlockState::kFree) {
+    s = Status::InvalidArgument("double free");
+  }
+  if (s.ok()) {
+    Entry next;
+    next.state = BlockState::kFree;
+    next.tag = 0;
+    next.usn = static_cast<uint32_t>(next_usn_++);
+    s = WriteEntry(node, block, next);
+    if (s.ok()) s = LogOp(node, block, OsOpPayload::Op::kFree, next.usn);
+  }
+  machine_->ReleaseLine(node, line);
+  SMDB_RETURN_IF_ERROR(s);
+  ++stats_.frees;
+  return Status::Ok();
+}
+
+Result<BlockState> DiskMap::StateOf(uint32_t block) const {
+  uint8_t buf[kEntryBytes];
+  SMDB_RETURN_IF_ERROR(
+      machine_->SnoopRead(EntryAddr(block), buf, sizeof(buf)));
+  return DecodeEntry(buf).state;
+}
+
+Status DiskMap::CheckpointToStable(NodeId node) {
+  SMDB_RETURN_IF_ERROR(machine_->SnoopRead(base_, stable_snapshot_.data(),
+                                           stable_snapshot_.size()));
+  machine_->Tick(node, machine_->config().timing.disk_write_ns);
+  return Status::Ok();
+}
+
+Status DiskMap::RecoverAfterCrash(NodeId performer,
+                                  const std::set<NodeId>& crashed) {
+  // 1. Re-install lost lines from the stable snapshot.
+  size_t line_size = machine_->line_size();
+  size_t total = static_cast<size_t>(blocks_) * kEntryBytes;
+  for (size_t off = 0; off < total; off += line_size) {
+    LineAddr line = machine_->LineOf(base_ + off);
+    if (!machine_->IsLineLost(line)) continue;
+    size_t chunk = std::min(line_size, total - off);
+    machine_->InstallToMemory(base_ + off, stable_snapshot_.data() + off,
+                              chunk);
+  }
+  // 2. Redo logged operations (survivors' full logs, crashed nodes' stable
+  // logs) in USN order, guarded per block.
+  std::vector<std::pair<OsOpPayload, NodeId>> ops;
+  for (NodeId n = 0; n < machine_->num_nodes(); ++n) {
+    auto visit = [&](const LogRecord& rec) {
+      if (rec.type != LogRecordType::kOsOp) return;
+      if (rec.os_op().map_id != map_id_) return;
+      ops.emplace_back(rec.os_op(), rec.node);
+    };
+    if (machine_->NodeAlive(n)) {
+      log_->ForEachAll(n, visit);
+    } else {
+      log_->ForEachStable(n, visit);
+    }
+  }
+  std::sort(ops.begin(), ops.end(), [](const auto& a, const auto& b) {
+    return a.first.usn < b.first.usn;
+  });
+  for (const auto& [op, logger] : ops) {
+    SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(performer, op.block));
+    if (e.usn >= op.usn) continue;
+    Entry next;
+    next.usn = static_cast<uint32_t>(op.usn);
+    switch (op.op) {
+      case OsOpPayload::Op::kAllocate:
+        next.state = BlockState::kProvisional;
+        // Allocations are always logged by the allocating node.
+        next.tag = static_cast<uint8_t>(logger + 1);
+        break;
+      case OsOpPayload::Op::kConfirm:
+        next.state = BlockState::kAllocated;
+        next.tag = 0;
+        break;
+      case OsOpPayload::Op::kFree:
+        next.state = BlockState::kFree;
+        next.tag = 0;
+        break;
+    }
+    SMDB_RETURN_IF_ERROR(WriteEntry(performer, op.block, next));
+    ++stats_.recovered_redo;
+  }
+  // next_usn_ must stay ahead of everything replayed.
+  for (const auto& [op, logger] : ops) {
+    (void)logger;
+    next_usn_ = std::max(next_usn_, op.usn + 1);
+  }
+  // 3. Roll back provisional allocations of crashed nodes (their confirm
+  // can never arrive) — and of replayed allocations whose allocator
+  // crashed: a provisional block with no surviving owner is reclaimed.
+  for (uint32_t block = 0; block < blocks_; ++block) {
+    SMDB_ASSIGN_OR_RETURN(Entry e, ReadEntry(performer, block));
+    if (e.state != BlockState::kProvisional) continue;
+    bool owner_dead = e.tag == 0 ||
+                      crashed.contains(static_cast<NodeId>(e.tag - 1)) ||
+                      !machine_->NodeAlive(static_cast<NodeId>(e.tag - 1));
+    if (!owner_dead) continue;
+    Entry next;
+    next.state = BlockState::kFree;
+    next.usn = static_cast<uint32_t>(next_usn_++);
+    SMDB_RETURN_IF_ERROR(WriteEntry(performer, block, next));
+    ++stats_.recovered_rollbacks;
+  }
+  return Status::Ok();
+}
+
+Status DiskMap::Verify() const {
+  for (uint32_t block = 0; block < blocks_; ++block) {
+    uint8_t buf[kEntryBytes];
+    SMDB_RETURN_IF_ERROR(
+        machine_->SnoopRead(EntryAddr(block), buf, sizeof(buf)));
+    Entry e = DecodeEntry(buf);
+    if (e.state != BlockState::kFree &&
+        e.state != BlockState::kProvisional &&
+        e.state != BlockState::kAllocated) {
+      return Status::Corruption("invalid block state");
+    }
+    if (e.state == BlockState::kProvisional) {
+      if (e.tag == 0 || !machine_->NodeAlive(static_cast<NodeId>(e.tag - 1))) {
+        return Status::Corruption("provisional block with dead owner");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace smdb

@@ -1,0 +1,50 @@
+#ifndef SMDB_SIM_EVENTS_H_
+#define SMDB_SIM_EVENTS_H_
+
+#include <functional>
+
+#include "common/types.h"
+
+namespace smdb {
+
+/// A coherence state change that removes or weakens a node's copy of a line.
+///
+/// These are exactly the transitions the paper identifies (section 5.2) as
+/// the latest possible enforcement points for the Stable LBM policy:
+///  - kInvalidate: the node's copy is invalidated because another node wrote
+///    the line (ww sharing; after this, undo AND redo information held only
+///    in the departing node's log would be needed if either node crashed).
+///  - kDowngrade: the node's exclusive copy is downgraded to shared because
+///    another node read the line (wr sharing; undo information must be
+///    stable before this completes).
+///
+/// Hooks run *before* the transfer completes, so a Stable LBM implementation
+/// may force logs from inside the hook — modelling the proposed
+/// one-active-bit-per-line extension to the coherency protocol.
+struct CoherenceEvent {
+  enum class Kind : uint8_t { kInvalidate, kDowngrade };
+
+  Kind kind;
+  LineAddr line = kInvalidLine;
+  /// Node losing (or downgrading) its copy.
+  NodeId from = kInvalidNode;
+  /// Node whose access triggered the transition.
+  NodeId to = kInvalidNode;
+  /// Value of the line's "active data" bit (set by the database when the
+  /// line holds uncommitted data whose log records are not yet stable).
+  bool active_bit = false;
+};
+
+using CoherenceHook = std::function<void(const CoherenceEvent&)>;
+
+/// Notification that a node has crashed (fired after the node's cache and
+/// home memory contents have been destroyed and the directory restored).
+struct CrashEvent {
+  NodeId node = kInvalidNode;
+};
+
+using CrashHook = std::function<void(const CrashEvent&)>;
+
+}  // namespace smdb
+
+#endif  // SMDB_SIM_EVENTS_H_

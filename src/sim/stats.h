@@ -1,0 +1,49 @@
+#ifndef SMDB_SIM_STATS_H_
+#define SMDB_SIM_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace smdb {
+
+/// Event counters collected by the machine. All counters are cumulative
+/// since construction (or the last Reset()).
+struct MachineStats {
+  // Memory traffic.
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t local_hits = 0;
+  uint64_t remote_transfers = 0;   // cache-to-cache line fetches
+  uint64_t memory_fetches = 0;     // fetches served by home memory
+
+  // Coherence actions.
+  uint64_t invalidations = 0;      // copies invalidated by remote writes
+  uint64_t downgrades = 0;         // E->S transitions caused by remote reads
+  uint64_t broadcast_updates = 0;  // write-broadcast remote-copy updates
+
+  // Sharing patterns (section 3.2 of the paper).
+  uint64_t migrations = 0;         // ww sharing: exclusive ownership moved
+  uint64_t replications = 0;       // wr sharing: line became multi-copy
+
+  // Line locks (section 5.1).
+  uint64_t line_lock_acquires = 0;
+  SimTime line_lock_wait_ns = 0;   // total queueing delay
+  SimTime line_lock_total_ns = 0;  // total acquisition latency incl. grant
+
+  // Failures.
+  uint64_t node_crashes = 0;
+  uint64_t lines_lost = 0;         // lines with no surviving copy
+  uint64_t lost_line_references = 0;
+  LineAddr last_lost_reference = kInvalidLine;  // diagnostics
+
+  void Reset() { *this = MachineStats(); }
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_SIM_STATS_H_

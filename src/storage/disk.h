@@ -1,0 +1,46 @@
+#ifndef SMDB_STORAGE_DISK_H_
+#define SMDB_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace smdb {
+
+class Machine;
+
+/// A shared stable-storage disk. In the paper's system model (figure 1)
+/// every node is connected to all disks; contents survive any number of node
+/// crashes and whole-machine reboots. I/O costs are charged to the clock of
+/// the node that issues the request.
+class Disk {
+ public:
+  Disk(Machine* machine, uint32_t page_size);
+
+  uint32_t page_size() const { return page_size_; }
+
+  /// Reads `page` into `out` (page_size bytes). NotFound if never written.
+  Status ReadPage(NodeId node, PageId page, std::vector<uint8_t>* out);
+
+  /// Writes `data` (page_size bytes) to `page`.
+  Status WritePage(NodeId node, PageId page, const std::vector<uint8_t>& data);
+
+  bool Exists(PageId page) const { return pages_.contains(page); }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  Machine* machine_;
+  uint32_t page_size_;
+  std::unordered_map<PageId, std::vector<uint8_t>> pages_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_STORAGE_DISK_H_

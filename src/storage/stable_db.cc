@@ -1,0 +1,4 @@
+#include "storage/stable_db.h"
+
+// StableDb is header-only; this translation unit anchors the component in
+// the build.

@@ -1,0 +1,4 @@
+#include "storage/stable_log.h"
+
+// StableLogStore is header-only; this translation unit exists so the build
+// has a home for future out-of-line members (e.g. segment archiving).

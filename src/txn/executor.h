@@ -1,0 +1,154 @@
+#ifndef SMDB_TXN_EXECUTOR_H_
+#define SMDB_TXN_EXECUTOR_H_
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+#include "txn/txn_manager.h"
+
+namespace smdb {
+
+/// One operation in a transaction script.
+struct Op {
+  enum class Kind : uint8_t {
+    kRead,
+    kUpdate,
+    kDirtyRead,
+    kIndexInsert,
+    kIndexDelete,
+    kIndexLookup,
+    kCommit,
+    kAbort,
+  };
+
+  Kind kind = Kind::kCommit;
+  RecordId rid;
+  std::vector<uint8_t> value;
+  uint64_t key = 0;
+
+  static Op Read(RecordId r) { return {Kind::kRead, r, {}, 0}; }
+  static Op Update(RecordId r, std::vector<uint8_t> v) {
+    return {Kind::kUpdate, r, std::move(v), 0};
+  }
+  static Op DirtyRead(RecordId r) { return {Kind::kDirtyRead, r, {}, 0}; }
+  static Op IndexInsert(uint64_t key, RecordId r) {
+    return {Kind::kIndexInsert, r, {}, key};
+  }
+  static Op IndexDelete(uint64_t key) {
+    return {Kind::kIndexDelete, {}, {}, key};
+  }
+  static Op IndexLookup(uint64_t key) {
+    return {Kind::kIndexLookup, {}, {}, key};
+  }
+  static Op Commit() { return {Kind::kCommit, {}, {}, 0}; }
+  static Op Abort() { return {Kind::kAbort, {}, {}, 0}; }
+};
+
+/// A transaction's operation list. The final op should be kCommit or
+/// kAbort; a trailing commit is implied otherwise.
+struct TxnScript {
+  std::vector<Op> ops;
+};
+
+struct ExecutorStats {
+  uint64_t committed = 0;
+  uint64_t aborted_deadlock = 0;
+  uint64_t aborted_other = 0;
+  uint64_t retries = 0;
+  uint64_t ops_executed = 0;
+  uint64_t lock_waits = 0;
+
+  void Reset() { *this = ExecutorStats(); }
+};
+
+/// Cooperative executor for one node: runs its queue of transaction
+/// scripts one operation per Step(). Lock conflicts (Busy) park the
+/// executor polling the lock; deadlock aborts roll the script back and
+/// retry it (bounded).
+class NodeExecutor {
+ public:
+  NodeExecutor(TxnManager* tm, NodeId node, int max_retries = 8);
+
+  void Enqueue(TxnScript script) { queue_.push_back(std::move(script)); }
+  size_t pending() const { return queue_.size() + (current_ ? 1 : 0); }
+  bool idle() const { return !current_ && queue_.empty(); }
+  NodeId node() const { return node_; }
+
+  /// Executes (at most) one operation. Returns false if idle.
+  bool Step();
+
+  /// Aborts the in-flight transaction and drops all queued scripts (used
+  /// when this node's executor must stop, e.g. baseline whole-machine
+  /// restarts). The in-flight transaction is rolled back via its log.
+  Status Quiesce();
+
+  /// Drops in-flight script state without rollback — the node crashed, its
+  /// control state is gone; restart recovery owns the transaction's fate.
+  void OnCrash();
+
+  /// The transaction currently executing on this node, if any.
+  Transaction* current_txn() { return txn_; }
+
+  ExecutorStats& stats() { return stats_; }
+
+ private:
+  enum class Phase : uint8_t { kIdle, kRunning, kWaitingLock };
+
+  Status ExecuteOp(const Op& op);
+  void FinishScript();
+  void HandleAbort(bool deadlock);
+
+  TxnManager* tm_;
+  NodeId node_;
+  int max_retries_;
+  std::deque<TxnScript> queue_;
+  std::optional<TxnScript> current_;
+  Transaction* txn_ = nullptr;
+  size_t op_index_ = 0;
+  int retries_ = 0;
+  Phase phase_ = Phase::kIdle;
+  uint64_t waiting_name_ = 0;
+  LockMode waiting_mode_ = LockMode::kNone;
+  ExecutorStats stats_;
+};
+
+/// Drives all node executors with a deterministic seeded interleaving and
+/// invokes a per-step callback (the crash scheduler hook).
+class SystemExecutor {
+ public:
+  SystemExecutor(TxnManager* tm, Machine* machine, uint64_t seed);
+
+  NodeExecutor& executor(NodeId node) { return *executors_[node]; }
+
+  /// Runs until every live node's executor is idle or `max_steps` global
+  /// steps have executed. `on_step` (optional) is called after each global
+  /// step with the step number.
+  void Run(uint64_t max_steps = ~0ULL,
+           const std::function<void(uint64_t)>& on_step = nullptr);
+
+  /// Executes exactly one global step (one op on one randomly chosen live,
+  /// non-idle node). Returns false if all executors are idle.
+  bool StepOnce();
+
+  bool AllIdle() const;
+  uint64_t steps() const { return steps_; }
+
+  ExecutorStats TotalStats() const;
+
+ private:
+  TxnManager* tm_;
+  Machine* machine_;
+  Rng rng_;
+  std::vector<std::unique_ptr<NodeExecutor>> executors_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_TXN_EXECUTOR_H_

@@ -1,0 +1,43 @@
+#ifndef SMDB_TXN_PARALLEL_H_
+#define SMDB_TXN_PARALLEL_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace smdb {
+
+/// A parallel transaction (section 9): one logical transaction whose work
+/// is spread over several nodes, one branch per node. Each branch logs to
+/// its own node's log and acquires locks under its own branch id; the
+/// group commits and aborts atomically.
+///
+/// Recovery semantics (the paper's closing remark): "if one of the nodes
+/// executing this transaction were to crash, the entire transaction must
+/// be aborted" — the crash of any participant annuls every branch, using
+/// the single-node machinery (crashed branches via LBM + restart recovery,
+/// surviving branches via ordinary rollback on their intact logs).
+struct ParallelTxn {
+  /// Branch transactions, coordinator first. All active, committed or
+  /// aborted together.
+  std::vector<Transaction*> branches;
+
+  Transaction* coordinator() const { return branches.front(); }
+
+  /// The branch executing on `node`, or nullptr.
+  Transaction* branch(NodeId node) const {
+    for (Transaction* t : branches) {
+      if (t->node() == node) return t;
+    }
+    return nullptr;
+  }
+
+  bool active() const {
+    return coordinator()->state == TxnState::kActive;
+  }
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_TXN_PARALLEL_H_

@@ -1,0 +1,4 @@
+#include "txn/transaction.h"
+
+// Transaction and TxnObserver are header-only; this translation unit
+// anchors the component in the build.

@@ -1,0 +1,191 @@
+#ifndef SMDB_TXN_TXN_MANAGER_H_
+#define SMDB_TXN_TXN_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "core/dependency_tracker.h"
+#include "core/lbm_policy.h"
+#include "core/protocol.h"
+#include "db/buffer_manager.h"
+#include "db/record_store.h"
+#include "lockmgr/lock_table.h"
+#include "txn/parallel.h"
+#include "txn/transaction.h"
+#include "wal/log_manager.h"
+
+namespace smdb {
+
+class Machine;
+
+struct TxnManagerStats {
+  uint64_t begins = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t deadlock_aborts = 0;
+  uint64_t updates = 0;
+  uint64_t reads = 0;
+  uint64_t undo_tag_writes = 0;  // Table 1 row 3 accounting
+
+  void Reset() { *this = TxnManagerStats(); }
+};
+
+/// Transaction manager: begin/commit/abort plus the record and index
+/// operations, orchestrating locking (strict 2PL), the line-lock update
+/// protocol, logging (via the configured LBM policy), undo tagging, the
+/// ordered-update-logging rule and WAL bookkeeping (sections 2, 4, 5, 6).
+class TxnManager {
+ public:
+  TxnManager(Machine* machine, LogManager* log, LockTable* locks,
+             RecordStore* records, BTree* index, WalTable* wal_table,
+             BufferManager* buffers, LbmPolicy* lbm, UsnSource* usn,
+             DependencyTracker* deps, RecoveryConfig config);
+
+  // ----------------------------------------------------------------------
+  // Lifecycle.
+
+  Transaction* Begin(NodeId node);
+
+  /// Commits: forces the commit record, clears undo tags, releases locks.
+  Status Commit(Transaction* txn);
+
+  /// Rolls back using this node's (intact) log, writing CLRs; releases
+  /// locks.
+  Status Abort(Transaction* txn);
+
+  // ----------------------------------------------------------------------
+  // Parallel transactions (section 9 extension): one logical transaction
+  // with a branch per participating node.
+
+  /// Begins a parallel transaction over `nodes` (coordinator first).
+  Result<ParallelTxn*> BeginParallel(const std::vector<NodeId>& nodes);
+
+  /// Group commit: every branch's log is forced, then per-branch commit
+  /// records are written and forced (atomic in the simulator's execution
+  /// model, which never interleaves a crash with a single operation).
+  Status CommitParallel(ParallelTxn* ptxn);
+
+  /// Group rollback of all branches.
+  Status AbortParallel(ParallelTxn* ptxn);
+
+  /// Sibling branches of `branch` (including itself) if it belongs to a
+  /// parallel transaction, else nullptr. Restart recovery uses this to
+  /// annul the whole group when one participant's node crashes.
+  const std::vector<TxnId>* GroupOf(TxnId branch) const;
+
+  // ----------------------------------------------------------------------
+  // Operations. Lock conflicts return Busy (caller polls PollLock);
+  // deadlocks return Deadlock (caller must Abort the transaction).
+
+  /// Locked read at the given isolation degree (serializable by default;
+  /// cursor stability releases the S lock right after the read; browse
+  /// degrades to an unlocked DirtyRead).
+  Result<std::vector<uint8_t>> Read(
+      Transaction* txn, RecordId rid,
+      Isolation isolation = Isolation::kSerializable);
+  Status Update(Transaction* txn, RecordId rid,
+                const std::vector<uint8_t>& value);
+
+  /// Unlocked read (browse/chaos isolation, section 3.2): may observe
+  /// uncommitted data and replicate the line (history H_wr).
+  Result<std::vector<uint8_t>> DirtyRead(NodeId node, RecordId rid);
+
+  Status IndexInsert(Transaction* txn, uint64_t key, RecordId value);
+  Status IndexDelete(Transaction* txn, uint64_t key);
+  Result<std::optional<RecordId>> IndexLookup(Transaction* txn, uint64_t key);
+
+  /// Polls a queued lock; kGranted when the wait is over.
+  Result<LockResult> PollLock(Transaction* txn, uint64_t name, LockMode mode);
+
+  // ----------------------------------------------------------------------
+  // Tables and recovery interface.
+
+  Transaction* Find(TxnId id);
+  std::vector<Transaction*> ActiveOn(NodeId node);
+  std::vector<Transaction*> ActiveAll();
+
+  /// Marks a crash-annulled transaction aborted after recovery has undone
+  /// its effects (notifies the observer).
+  void MarkCrashAnnulled(Transaction* txn);
+
+  /// Tracks which undo chains are engaged during one undo pass. Records
+  /// (and index keys) are undone in reverse USN order; a chain engages when
+  /// the current version is exactly the one a record's log entry produced
+  /// (nothing later exists), and stays engaged for lower-USN entries of the
+  /// same transaction (our own CLRs raise the version as we unwind). An
+  /// entry that neither matches nor is engaged is skipped: either the
+  /// update never reached the surviving copy, or a later transaction
+  /// legitimately overwrote it (the victim had already finished).
+  struct UndoEngagement {
+    std::map<RecordId, TxnId> records;
+    std::map<std::pair<uint32_t, uint64_t>, TxnId> keys;
+  };
+
+  /// Applies the undo of one update log record (install the before image,
+  /// write a CLR on `performer`'s log). Used by Abort and by restart
+  /// recovery.
+  Status ApplyUndoUpdate(NodeId performer, const LogRecord& rec,
+                         UndoEngagement* eng);
+
+  /// Applies the undo of one index-op log record.
+  Status ApplyUndoIndexOp(NodeId performer, const LogRecord& rec,
+                          UndoEngagement* eng);
+
+  void AddObserver(TxnObserver* obs) { observers_.push_back(obs); }
+
+  TxnManagerStats& stats() { return stats_; }
+  const RecoveryConfig& config() const { return config_; }
+  LbmPolicy* lbm() { return lbm_; }
+  UsnSource* usn() { return usn_; }
+  RecordStore* records() { return records_; }
+  BTree* index() { return index_; }
+  LockTable* locks() { return locks_; }
+
+ private:
+  /// Acquires `name` in `mode` for `txn`. Busy when queued, Deadlock when
+  /// queueing would close a waits-for cycle.
+  Status AcquireLock(Transaction* txn, uint64_t name, LockMode mode);
+
+  /// True if txn waiting for `name` would deadlock.
+  bool WouldDeadlock(Transaction* txn, uint64_t name);
+
+  /// The in-place update protocol of sections 5.1/6: line locks on the
+  /// Page-LSN line and the record line, write, log, LBM hook, release.
+  Status DoUpdate(Transaction* txn, RecordId rid,
+                  const std::vector<uint8_t>& value, bool is_clr,
+                  uint64_t expected_usn);
+
+  void NotifyCommit(TxnId id);
+  void NotifyAbort(TxnId id);
+
+  Machine* machine_;
+  LogManager* log_;
+  LockTable* locks_;
+  RecordStore* records_;
+  BTree* index_;
+  WalTable* wal_table_;
+  BufferManager* buffers_;
+  LbmPolicy* lbm_;
+  UsnSource* usn_;
+  DependencyTracker* deps_;  // may be null
+  RecoveryConfig config_;
+
+  std::map<TxnId, std::unique_ptr<Transaction>> txns_;
+  std::map<TxnId, uint64_t> waiting_for_;  // txn -> lock name being awaited
+  std::vector<std::unique_ptr<ParallelTxn>> parallel_;
+  std::map<TxnId, std::vector<TxnId>> groups_;  // branch -> sibling ids
+  std::vector<uint64_t> next_seq_;         // per-node txn sequence numbers
+  uint64_t begin_counter_ = 0;
+  std::vector<TxnObserver*> observers_;
+  TxnManagerStats stats_;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_TXN_TXN_MANAGER_H_

@@ -1,0 +1,40 @@
+#include "wal/checkpoint.h"
+
+#include "db/buffer_manager.h"
+#include "sim/machine.h"
+#include "wal/log_manager.h"
+#include "wal/log_record.h"
+
+namespace smdb {
+
+Status TakeCheckpoint(Machine* machine, LogManager* log,
+                      BufferManager* buffers,
+                      const std::vector<std::vector<TxnId>>& active_per_node,
+                      NodeId coordinator) {
+  // 1. Force all logs so the flush pass never trips the WAL gate.
+  for (NodeId n = 0; n < machine->num_nodes(); ++n) {
+    if (!machine->NodeAlive(n)) continue;
+    SMDB_RETURN_IF_ERROR(log->Force(coordinator, n));
+  }
+  // 2. Flush every dirty page.
+  SMDB_RETURN_IF_ERROR(buffers->FlushAllDirty(coordinator));
+  // 3. Per-node checkpoint records.
+  for (NodeId n = 0; n < machine->num_nodes(); ++n) {
+    if (!machine->NodeAlive(n)) continue;
+    LogRecord rec;
+    rec.type = LogRecordType::kCheckpoint;
+    rec.txn = kInvalidTxn;
+    CheckpointPayload payload;
+    if (n < active_per_node.size()) payload.active_txns = active_per_node[n];
+    rec.payload = std::move(payload);
+    Lsn lsn = log->Append(n, std::move(rec));
+    SMDB_RETURN_IF_ERROR(log->Force(coordinator, n));
+    log->SetCheckpointLsn(n, lsn);
+  }
+  // A checkpoint is a natural barrier: align the simulated clocks so the
+  // coordinator's I/O time does not appear as phantom lock-wait skew.
+  machine->SyncClocks();
+  return Status::Ok();
+}
+
+}  // namespace smdb

@@ -1,0 +1,32 @@
+#ifndef SMDB_WAL_CHECKPOINT_H_
+#define SMDB_WAL_CHECKPOINT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace smdb {
+
+class Machine;
+class LogManager;
+class BufferManager;
+
+/// Takes a machine-wide checkpoint:
+///  1. forces every live node's log (satisfying every WAL requirement),
+///  2. flushes all dirty pages to the stable database,
+///  3. appends and forces a checkpoint record on each live node's log,
+///     recording that node's active transactions, and
+///  4. advances every node's replay start position.
+///
+/// `active_per_node[n]` lists the active transactions of node n;
+/// `coordinator` pays the flush I/O. After a checkpoint, restart recovery
+/// replays each node's log only from its checkpoint record.
+Status TakeCheckpoint(Machine* machine, LogManager* log,
+                      BufferManager* buffers,
+                      const std::vector<std::vector<TxnId>>& active_per_node,
+                      NodeId coordinator);
+
+}  // namespace smdb
+
+#endif  // SMDB_WAL_CHECKPOINT_H_

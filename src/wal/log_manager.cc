@@ -1,0 +1,63 @@
+#include "wal/log_manager.h"
+
+#include "sim/machine.h"
+
+namespace smdb {
+
+LogManager::LogManager(Machine* machine, StableLogStore* stable)
+    : machine_(machine), stable_(stable) {
+  uint16_t n = machine_->num_nodes();
+  tails_.resize(n);
+  next_lsn_.assign(n, 1);
+  checkpoint_lsn_.assign(n, kInvalidLsn);
+}
+
+Lsn LogManager::Append(NodeId node, LogRecord rec) {
+  rec.lsn = next_lsn_[node]++;
+  rec.node = node;
+  tails_[node].push_back(std::move(rec));
+  ++stats_.appends;
+  machine_->Tick(node, machine_->config().timing.volatile_log_write_ns);
+  return next_lsn_[node] - 1;
+}
+
+Status LogManager::Force(NodeId requestor, NodeId node) {
+  if (!machine_->NodeAlive(node)) {
+    // The tail died with the node; only the already-stable prefix exists.
+    return Status::NodeFailed("cannot force log of crashed node");
+  }
+  auto& tail = tails_[node];
+  ++stats_.forces;
+  const auto& timing = machine_->config().timing;
+  machine_->Tick(requestor, machine_->config().nvram_log
+                                ? timing.nvram_force_ns
+                                : timing.log_force_ns);
+  if (!tail.empty()) {
+    stats_.forced_records += tail.size();
+    std::vector<LogRecord> batch(tail.begin(), tail.end());
+    tail.clear();
+    stable_->Append(node, std::move(batch));
+  }
+  for (const auto& hook : force_hooks_) hook(node);
+  return Status::Ok();
+}
+
+bool LogManager::IsStable(NodeId node, Lsn lsn) const {
+  if (lsn == kInvalidLsn) return true;
+  return stable_->LastLsn(node) >= lsn;
+}
+
+void LogManager::OnNodeCrash(NodeId node) { tails_[node].clear(); }
+
+void LogManager::ForEachStable(
+    NodeId node, const std::function<void(const LogRecord&)>& fn) const {
+  for (const auto& rec : stable_->Records(node)) fn(rec);
+}
+
+void LogManager::ForEachAll(
+    NodeId node, const std::function<void(const LogRecord&)>& fn) const {
+  ForEachStable(node, fn);
+  for (const auto& rec : tails_[node]) fn(rec);
+}
+
+}  // namespace smdb

@@ -1,0 +1,108 @@
+#ifndef SMDB_WAL_LOG_MANAGER_H_
+#define SMDB_WAL_LOG_MANAGER_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/stable_log.h"
+#include "wal/log_record.h"
+
+namespace smdb {
+
+class Machine;
+
+/// Statistics for the logging subsystem, used by the Table 1 and
+/// log-force-frequency experiments.
+struct LogStats {
+  uint64_t appends = 0;
+  uint64_t forces = 0;
+  uint64_t forced_records = 0;
+  uint64_t truncated_records = 0;
+  /// Forces attributable to the Stable LBM policy (in excess of the commit
+  /// forces every protocol performs). Incremented by the LBM policies.
+  uint64_t lbm_forces = 0;
+
+  void Reset() { *this = LogStats(); }
+};
+
+/// Per-node write-ahead logs with volatile in-cache tails.
+///
+/// Each node maintains a log whose updates happen in the node's cache
+/// (volatile); the tail is destroyed if the node crashes. Forcing moves the
+/// tail to the node's stream in the StableLogStore on a shared disk. Log
+/// lines never migrate (the paper's alignment assumption), so no other
+/// node's crash can damage a log tail.
+class LogManager {
+ public:
+  LogManager(Machine* machine, StableLogStore* stable);
+
+  /// Appends `rec` to `node`'s volatile log tail; assigns and returns its
+  /// LSN. Charges the volatile write cost to `node`.
+  Lsn Append(NodeId node, LogRecord rec);
+
+  /// Forces `node`'s entire volatile tail to stable storage. `requestor`
+  /// pays the I/O cost (it may differ from `node`, e.g. when the WAL page-
+  /// flush gate forces another node's log, section 6).
+  Status Force(NodeId requestor, NodeId node);
+
+  /// True if `node`'s log is stable through `lsn`.
+  bool IsStable(NodeId node, Lsn lsn) const;
+
+  Lsn stable_lsn(NodeId node) const { return stable_->LastLsn(node); }
+  Lsn last_lsn(NodeId node) const { return next_lsn_[node] - 1; }
+
+  /// Destroys `node`'s volatile tail (crash injection path; Database wires
+  /// this to the machine's crash hook).
+  void OnNodeCrash(NodeId node);
+
+  /// Iterates `node`'s durable records in LSN order.
+  void ForEachStable(NodeId node,
+                     const std::function<void(const LogRecord&)>& fn) const;
+
+  /// Iterates `node`'s full log — durable prefix then volatile tail. Only
+  /// meaningful for surviving nodes (a crashed node's tail is empty).
+  void ForEachAll(NodeId node,
+                  const std::function<void(const LogRecord&)>& fn) const;
+
+  /// Volatile tail size (diagnostics/tests).
+  size_t TailSize(NodeId node) const { return tails_[node].size(); }
+
+  /// Replay start position management (set by checkpoints).
+  void SetCheckpointLsn(NodeId node, Lsn lsn) { checkpoint_lsn_[node] = lsn; }
+  Lsn checkpoint_lsn(NodeId node) const { return checkpoint_lsn_[node]; }
+
+  /// Reclaims `node`'s stable log prefix through `lsn`. Callers must keep
+  /// the safe point behind both the checkpoint and the oldest active
+  /// transaction's first record. Returns # records dropped.
+  size_t TruncateThrough(NodeId node, Lsn lsn) {
+    size_t n = stable_->Truncate(node, lsn);
+    stats_.truncated_records += n;
+    return n;
+  }
+
+  /// Hook fired after a successful force of `node`'s log (the Stable LBM
+  /// triggered policy uses it to clear its active-line bookkeeping).
+  void AddForceHook(std::function<void(NodeId)> hook) {
+    force_hooks_.push_back(std::move(hook));
+  }
+
+  LogStats& stats() { return stats_; }
+  const LogStats& stats() const { return stats_; }
+  StableLogStore& stable_store() { return *stable_; }
+
+ private:
+  Machine* machine_;
+  StableLogStore* stable_;
+  std::vector<std::deque<LogRecord>> tails_;
+  std::vector<Lsn> next_lsn_;
+  std::vector<Lsn> checkpoint_lsn_;
+  std::vector<std::function<void(NodeId)>> force_hooks_;
+  LogStats stats_;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_WAL_LOG_MANAGER_H_

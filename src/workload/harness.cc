@@ -1,0 +1,112 @@
+#include "workload/harness.h"
+
+#include <algorithm>
+
+namespace smdb {
+
+Harness::Harness(HarnessConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+Harness::~Harness() = default;
+
+Status Harness::Setup() {
+  if (setup_done_) return Status::Ok();
+  db_ = std::make_unique<Database>(config_.db);
+  checker_ = std::make_unique<IfaChecker>(db_.get());
+  db_->txn().AddObserver(checker_.get());
+
+  SMDB_ASSIGN_OR_RETURN(table_, db_->CreateTable(config_.num_records));
+  checker_->RegisterTable(table_);
+  SMDB_RETURN_IF_ERROR(db_->Checkpoint(0));
+
+  WorkloadGenerator gen(config_.workload, table_,
+                        config_.db.machine.num_nodes,
+                        config_.db.record_data_size);
+  auto scripts = gen.Generate();
+  exec_ = std::make_unique<SystemExecutor>(&db_->txn(), &db_->machine(),
+                                           config_.seed ^ 0x5eed);
+  for (NodeId n = 0; n < config_.db.machine.num_nodes; ++n) {
+    for (auto& s : scripts[n]) exec_->executor(n).Enqueue(std::move(s));
+  }
+  setup_done_ = true;
+  return Status::Ok();
+}
+
+Status Harness::StealFlushOne() {
+  auto dirty = db_->buffers().DirtyPages();
+  if (dirty.empty()) return Status::Ok();
+  PageId page = dirty[rng_.Uniform(dirty.size())];
+  auto alive = db_->machine().AliveNodes();
+  NodeId node = alive[rng_.Uniform(alive.size())];
+  Status s = db_->buffers().FlushPage(node, page);
+  // A flush blocked by a crashed updater's unforced tail, or by a page
+  // whose lines died with a node, is expected; the steal daemon just skips.
+  if (s.IsNodeFailed() || s.IsLineLost()) return Status::Ok();
+  return s;
+}
+
+Result<HarnessReport> Harness::Run() {
+  SMDB_RETURN_IF_ERROR(Setup());
+  HarnessReport report;
+
+  size_t next_crash = 0;
+  std::sort(config_.crashes.begin(), config_.crashes.end(),
+            [](const CrashPlan& a, const CrashPlan& b) {
+              return a.at_step < b.at_step;
+            });
+
+  while (exec_->steps() < config_.max_steps) {
+    // Crash injection before the next step.
+    while (next_crash < config_.crashes.size() &&
+           exec_->steps() >= config_.crashes[next_crash].at_step) {
+      const CrashPlan& plan = config_.crashes[next_crash];
+      std::vector<NodeId> to_crash;
+      for (NodeId n : plan.nodes) {
+        if (db_->machine().NodeAlive(n)) to_crash.push_back(n);
+      }
+      ++next_crash;
+      if (to_crash.empty()) continue;
+      for (NodeId n : to_crash) exec_->executor(n).OnCrash();
+      SMDB_ASSIGN_OR_RETURN(RecoveryOutcome outcome, db_->Crash(to_crash));
+      report.recoveries.push_back(outcome);
+      if (config_.verify) {
+        Status v = checker_->VerifyAll();
+        if (!v.ok()) {
+          report.verify_status = v;
+          return report;
+        }
+      }
+      if (plan.restart_after) db_->RestartNodes(to_crash);
+    }
+
+    if (!exec_->StepOnce()) break;
+
+    if (config_.steal_flush_prob > 0.0 &&
+        rng_.Bernoulli(config_.steal_flush_prob)) {
+      SMDB_RETURN_IF_ERROR(StealFlushOne());
+    }
+    if (config_.checkpoint_every_steps > 0 &&
+        exec_->steps() % config_.checkpoint_every_steps == 0) {
+      auto alive = db_->machine().AliveNodes();
+      SMDB_RETURN_IF_ERROR(db_->Checkpoint(alive[0]));
+    }
+  }
+
+  if (config_.verify) {
+    report.verify_status = checker_->VerifyAll();
+  }
+
+  report.exec = exec_->TotalStats();
+  report.machine = db_->machine().stats();
+  report.logs = db_->log().stats();
+  report.txns = db_->txn().stats();
+  report.locks = db_->locks().stats();
+  report.btree = db_->index().stats();
+  report.disk_reads = db_->stable_db().reads();
+  report.disk_writes = db_->stable_db().writes();
+  report.steps = exec_->steps();
+  report.total_time_ns = db_->machine().GlobalTime();
+  return report;
+}
+
+}  // namespace smdb

@@ -1,0 +1,101 @@
+#ifndef SMDB_WORKLOAD_HARNESS_H_
+#define SMDB_WORKLOAD_HARNESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/database.h"
+#include "core/ifa_checker.h"
+#include "core/recovery.h"
+#include "txn/executor.h"
+#include "workload/workload.h"
+
+namespace smdb {
+
+/// A crash injected at a global executor step.
+struct CrashPlan {
+  uint64_t at_step = 0;
+  std::vector<NodeId> nodes;
+  /// Bring the crashed nodes back (cold) right after recovery.
+  bool restart_after = false;
+};
+
+struct HarnessConfig {
+  DatabaseConfig db;
+  WorkloadSpec workload;
+  size_t num_records = 256;
+  std::vector<CrashPlan> crashes;
+  /// Probability per step that the steal daemon flushes one dirty page.
+  double steal_flush_prob = 0.0;
+  /// Take a checkpoint every N steps (0 = only the initial one).
+  uint64_t checkpoint_every_steps = 0;
+  uint64_t max_steps = 10'000'000;
+  /// Verify IFA (oracle comparison) after every recovery and at the end.
+  bool verify = true;
+  uint64_t seed = 99;
+};
+
+struct HarnessReport {
+  ExecutorStats exec;
+  std::vector<RecoveryOutcome> recoveries;
+  MachineStats machine;
+  LogStats logs;
+  TxnManagerStats txns;
+  LockTableStats locks;
+  BTreeStats btree;
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+  uint64_t steps = 0;
+  SimTime total_time_ns = 0;
+  Status verify_status;
+
+  /// Committed transactions per simulated second.
+  double throughput_tps() const {
+    return total_time_ns == 0
+               ? 0.0
+               : double(exec.committed) * 1e9 / double(total_time_ns);
+  }
+  /// Surviving-node transactions aborted by recovery across all crashes
+  /// (the paper's "unnecessary aborts"; 0 under IFA).
+  uint64_t unnecessary_aborts() const {
+    uint64_t n = 0;
+    for (const auto& r : recoveries) n += r.forced_aborts.size();
+    return n;
+  }
+};
+
+/// End-to-end driver: builds a Database, registers the IFA oracle, runs a
+/// generated workload under a deterministic interleaving, injects crashes
+/// per plan, runs recovery, verifies IFA, and aggregates every subsystem's
+/// statistics. All experiments and most integration tests go through here.
+class Harness {
+ public:
+  explicit Harness(HarnessConfig config);
+  ~Harness();
+
+  /// Builds the database and enqueues the workload (idempotent; Run calls
+  /// it if needed).
+  Status Setup();
+
+  Result<HarnessReport> Run();
+
+  Database& db() { return *db_; }
+  IfaChecker& checker() { return *checker_; }
+  SystemExecutor& executor() { return *exec_; }
+  const std::vector<RecordId>& table() const { return table_; }
+
+ private:
+  Status StealFlushOne();
+
+  HarnessConfig config_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<IfaChecker> checker_;
+  std::unique_ptr<SystemExecutor> exec_;
+  std::vector<RecordId> table_;
+  Rng rng_;
+  bool setup_done_ = false;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_WORKLOAD_HARNESS_H_

@@ -1,0 +1,72 @@
+#include "workload/workload.h"
+
+namespace smdb {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec,
+                                     std::vector<RecordId> table,
+                                     uint16_t num_nodes,
+                                     uint16_t record_data_size)
+    : spec_(spec),
+      table_(std::move(table)),
+      num_nodes_(num_nodes),
+      record_data_size_(record_data_size),
+      rng_(spec.seed) {}
+
+RecordId WorkloadGenerator::PickRecord(NodeId node) {
+  if (spec_.shared_fraction >= 1.0 || rng_.Bernoulli(spec_.shared_fraction)) {
+    size_t idx = spec_.zipf_theta > 0.0
+                     ? rng_.Zipf(table_.size(), spec_.zipf_theta)
+                     : rng_.Uniform(table_.size());
+    return table_[idx];
+  }
+  // Partitioned pick: this node's slice of the table.
+  size_t per_node = table_.size() / num_nodes_;
+  if (per_node == 0) return table_[rng_.Uniform(table_.size())];
+  size_t base = per_node * node;
+  return table_[base + rng_.Uniform(per_node)];
+}
+
+std::vector<uint8_t> WorkloadGenerator::RandomValue() {
+  std::vector<uint8_t> v(record_data_size_);
+  for (auto& b : v) b = static_cast<uint8_t>(rng_.Next());
+  return v;
+}
+
+std::vector<std::vector<TxnScript>> WorkloadGenerator::Generate() {
+  std::vector<std::vector<TxnScript>> out(num_nodes_);
+  for (NodeId n = 0; n < num_nodes_; ++n) {
+    for (size_t t = 0; t < spec_.txns_per_node; ++t) {
+      TxnScript script;
+      for (size_t o = 0; o < spec_.ops_per_txn; ++o) {
+        double roll = rng_.NextDouble();
+        if (roll < spec_.index_op_ratio) {
+          double kind = rng_.NextDouble();
+          if (kind < 0.5) {
+            // Fresh keys keep inserts mostly duplicate-free.
+            uint64_t key = (next_key_++ % spec_.index_key_space) + 1;
+            script.ops.push_back(Op::IndexInsert(key, PickRecord(n)));
+          } else if (kind < 0.75) {
+            uint64_t key = rng_.Range(1, spec_.index_key_space);
+            script.ops.push_back(Op::IndexDelete(key));
+          } else {
+            uint64_t key = rng_.Range(1, spec_.index_key_space);
+            script.ops.push_back(Op::IndexLookup(key));
+          }
+        } else if (roll < spec_.index_op_ratio + spec_.dirty_read_ratio) {
+          script.ops.push_back(Op::DirtyRead(PickRecord(n)));
+        } else if (rng_.Bernoulli(spec_.write_ratio)) {
+          script.ops.push_back(Op::Update(PickRecord(n), RandomValue()));
+        } else {
+          script.ops.push_back(Op::Read(PickRecord(n)));
+        }
+      }
+      script.ops.push_back(rng_.Bernoulli(spec_.voluntary_abort_ratio)
+                               ? Op::Abort()
+                               : Op::Commit());
+      out[n].push_back(std::move(script));
+    }
+  }
+  return out;
+}
+
+}  // namespace smdb

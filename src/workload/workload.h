@@ -1,0 +1,70 @@
+#ifndef SMDB_WORKLOAD_WORKLOAD_H_
+#define SMDB_WORKLOAD_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "txn/executor.h"
+
+namespace smdb {
+
+/// Parameters of a synthetic transaction workload. Defaults give a mixed
+/// read/update workload over a shared table — the access pattern whose
+/// cache-line sharing produces the paper's failure effects.
+struct WorkloadSpec {
+  size_t txns_per_node = 20;
+  size_t ops_per_txn = 8;
+  /// Fraction of record ops that are updates (the rest are locked reads).
+  double write_ratio = 0.5;
+  /// Fraction of ops that are index operations (insert/delete/lookup mix).
+  double index_op_ratio = 0.0;
+  /// Fraction of ops that are *dirty* reads (browse isolation, H_wr).
+  double dirty_read_ratio = 0.0;
+  /// Zipfian skew over the record space (0 = uniform).
+  double zipf_theta = 0.0;
+  /// Fraction of each transaction's record picks drawn from the whole
+  /// (node-shared) table; the rest come from a per-node partition. 1.0 =
+  /// fully shared (maximum inter-node line sharing).
+  double shared_fraction = 1.0;
+  /// Fraction of transactions that end in a voluntary abort.
+  double voluntary_abort_ratio = 0.0;
+  /// Key space for index operations.
+  uint64_t index_key_space = 4096;
+  uint64_t seed = 1234;
+};
+
+/// Generates per-node transaction scripts over a heap table (and index).
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadSpec spec, std::vector<RecordId> table,
+                    uint16_t num_nodes, uint16_t record_data_size);
+
+  /// scripts[n] is the queue for node n.
+  std::vector<std::vector<TxnScript>> Generate();
+
+ private:
+  RecordId PickRecord(NodeId node);
+  std::vector<uint8_t> RandomValue();
+
+  WorkloadSpec spec_;
+  std::vector<RecordId> table_;
+  uint16_t num_nodes_;
+  uint16_t record_data_size_;
+  Rng rng_;
+  uint64_t next_key_ = 1;
+};
+
+/// Builds the two-transactions-one-cache-line scenario of section 3.1 /
+/// figure 2: records r1 and r2 share a cache line; t_x (node x) updates r1,
+/// t_y (node y) updates r2, and both stay active. Returns the two scripts.
+struct FalseSharingScenario {
+  RecordId r1;
+  RecordId r2;
+  TxnScript tx;  // for node x: update r1, no commit (stays active)
+  TxnScript ty;  // for node y: update r2, no commit
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,166 @@
+// Tests for the recoverable OS disk-allocation map (section 9 extension).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "os/disk_map.h"
+#include "sim/machine.h"
+#include "storage/stable_log.h"
+
+namespace smdb {
+namespace {
+
+struct Fx {
+  Fx() : machine(MakeCfg()), stable(4), log(&machine, &stable),
+         map(&machine, &log, /*map_id=*/1, /*blocks=*/64) {}
+  static MachineConfig MakeCfg() {
+    MachineConfig c;
+    c.num_nodes = 4;
+    return c;
+  }
+  Machine machine;
+  StableLogStore stable;
+  LogManager log;
+  DiskMap map;
+};
+
+TEST(DiskMapTest, AllocateConfirmFreeLifecycle) {
+  Fx f;
+  auto b = f.map.Allocate(0);
+  ASSERT_TRUE(b.ok());
+  auto st = f.map.StateOf(*b);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(*st, BlockState::kProvisional);
+  ASSERT_TRUE(f.map.Confirm(0, *b).ok());
+  st = f.map.StateOf(*b);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(*st, BlockState::kAllocated);
+  ASSERT_TRUE(f.map.Free(1, *b).ok());
+  st = f.map.StateOf(*b);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(*st, BlockState::kFree);
+}
+
+TEST(DiskMapTest, DistinctBlocksAcrossNodes) {
+  Fx f;
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 32; ++i) {
+    auto b = f.map.Allocate(static_cast<NodeId>(i % 4));
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(seen.insert(*b).second) << "double allocation";
+  }
+}
+
+TEST(DiskMapTest, ExhaustionReturnsNotFound) {
+  Fx f;
+  for (uint32_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(f.map.Allocate(0).ok());
+  }
+  EXPECT_TRUE(f.map.Allocate(0).status().IsNotFound());
+}
+
+TEST(DiskMapTest, DoubleFreeAndBadConfirmRejected) {
+  Fx f;
+  auto b = f.map.Allocate(0);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(f.map.Free(0, *b).ok());
+  EXPECT_EQ(f.map.Free(0, *b).code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(f.map.Confirm(0, *b).code(), Status::Code::kInvalidArgument);
+}
+
+TEST(DiskMapTest, CrashRollsBackProvisionalOfCrashedNode) {
+  Fx f;
+  ASSERT_TRUE(f.map.CheckpointToStable(0).ok());
+  auto provisional = f.map.Allocate(1);
+  ASSERT_TRUE(provisional.ok());
+  auto confirmed = f.map.Allocate(1);
+  ASSERT_TRUE(confirmed.ok());
+  ASSERT_TRUE(f.map.Confirm(1, *confirmed).ok());
+
+  f.machine.CrashNode(1);
+  ASSERT_TRUE(f.map.RecoverAfterCrash(0, {1}).ok());
+  ASSERT_TRUE(f.map.Verify().ok());
+
+  auto st = f.map.StateOf(*provisional);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(*st, BlockState::kFree) << "unconfirmed alloc must be reclaimed";
+  st = f.map.StateOf(*confirmed);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(*st, BlockState::kAllocated) << "confirmed alloc must survive";
+}
+
+TEST(DiskMapTest, SurvivorProvisionalSurvivesOtherNodesCrash) {
+  Fx f;
+  ASSERT_TRUE(f.map.CheckpointToStable(0).ok());
+  auto mine = f.map.Allocate(0);
+  ASSERT_TRUE(mine.ok());
+  // Node 1 allocates from the same line: the map line migrates to node 1.
+  auto theirs = f.map.Allocate(1);
+  ASSERT_TRUE(theirs.ok());
+  f.machine.CrashNode(1);
+  ASSERT_TRUE(f.map.RecoverAfterCrash(0, {1}).ok());
+  ASSERT_TRUE(f.map.Verify().ok());
+  auto st = f.map.StateOf(*mine);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(*st, BlockState::kProvisional)
+      << "survivor's provisional allocation was lost";
+  st = f.map.StateOf(*theirs);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(*st, BlockState::kFree);
+  // The survivor can still confirm its allocation.
+  EXPECT_TRUE(f.map.Confirm(0, *mine).ok());
+}
+
+TEST(DiskMapTest, RandomizedCrashConsistency) {
+  Rng rng(77);
+  for (int round = 0; round < 5; ++round) {
+    Fx f;
+    ASSERT_TRUE(f.map.CheckpointToStable(0).ok());
+    // Shadow: expected state per block assuming the victim's provisional
+    // allocations evaporate.
+    std::map<uint32_t, std::pair<BlockState, NodeId>> shadow;
+    for (int op = 0; op < 120; ++op) {
+      NodeId node = static_cast<NodeId>(rng.Uniform(4));
+      double roll = rng.NextDouble();
+      if (roll < 0.6) {
+        auto b = f.map.Allocate(node);
+        if (b.ok()) shadow[*b] = {BlockState::kProvisional, node};
+      } else if (roll < 0.8) {
+        // Confirm one of this node's provisional blocks.
+        for (auto& [blk, st] : shadow) {
+          if (st.first == BlockState::kProvisional && st.second == node) {
+            ASSERT_TRUE(f.map.Confirm(node, blk).ok());
+            st = {BlockState::kAllocated, node};
+            break;
+          }
+        }
+      } else {
+        for (auto& [blk, st] : shadow) {
+          if (st.first == BlockState::kAllocated) {
+            ASSERT_TRUE(f.map.Free(node, blk).ok());
+            st = {BlockState::kFree, node};
+            break;
+          }
+        }
+      }
+    }
+    NodeId victim = static_cast<NodeId>(rng.Uniform(4));
+    f.machine.CrashNode(victim);
+    NodeId performer = (victim + 1) % 4;
+    ASSERT_TRUE(f.map.RecoverAfterCrash(performer, {victim}).ok());
+    ASSERT_TRUE(f.map.Verify().ok());
+    for (const auto& [blk, st] : shadow) {
+      BlockState expected = st.first;
+      if (expected == BlockState::kProvisional && st.second == victim) {
+        expected = BlockState::kFree;
+      }
+      auto actual = f.map.StateOf(blk);
+      ASSERT_TRUE(actual.ok());
+      EXPECT_EQ(*actual, expected)
+          << "round " << round << " block " << blk;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smdb

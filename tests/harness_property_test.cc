@@ -1,0 +1,174 @@
+// Randomized end-to-end property tests: run generated multi-node workloads
+// with crash injection under every protocol and check the IFA invariants
+// via the oracle after each recovery and at quiescence.
+
+#include <gtest/gtest.h>
+
+#include "workload/harness.h"
+
+namespace smdb {
+namespace {
+
+struct PropertyParam {
+  RecoveryConfig rc;
+  uint64_t seed;
+  double index_ratio;
+  double steal_prob;
+  bool write_broadcast = false;
+};
+
+class IfaPropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+std::vector<PropertyParam> MakeParams() {
+  std::vector<PropertyParam> out;
+  std::vector<RecoveryConfig> protocols = {
+      RecoveryConfig::VolatileSelectiveRedo(),
+      RecoveryConfig::VolatileRedoAll(),
+      RecoveryConfig::StableEagerRedoAll(),
+      RecoveryConfig::StableTriggeredSelectiveRedo(),
+  };
+  uint64_t seeds[] = {7, 1234, 987654321};
+  for (const auto& rc : protocols) {
+    for (uint64_t seed : seeds) {
+      out.push_back({rc, seed, 0.0, 0.0});
+      out.push_back({rc, seed, 0.25, 0.02});
+    }
+  }
+  // Write-broadcast coherence (section 7): Selective Redo is the natural
+  // fit (undo-only), but both must preserve IFA.
+  out.push_back({RecoveryConfig::VolatileSelectiveRedo(), 42, 0.2, 0.01,
+                 /*write_broadcast=*/true});
+  out.push_back({RecoveryConfig::VolatileRedoAll(), 42, 0.2, 0.01,
+                 /*write_broadcast=*/true});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IfaPropertyTest, ::testing::ValuesIn(MakeParams()),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      const PropertyParam& p = info.param;
+      std::string name = p.rc.Name() + "_s" + std::to_string(p.seed) + "_i" +
+                         std::to_string(int(p.index_ratio * 100)) +
+                         (p.write_broadcast ? "_wb" : "");
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST_P(IfaPropertyTest, CrashMidWorkloadPreservesIfa) {
+  const PropertyParam& p = GetParam();
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = 6;
+  if (p.write_broadcast) {
+    cfg.db.machine.coherence = CoherenceKind::kWriteBroadcast;
+  }
+  cfg.db.recovery = p.rc;
+  cfg.num_records = 96;  // small table => heavy line sharing
+  cfg.workload.txns_per_node = 12;
+  cfg.workload.ops_per_txn = 6;
+  cfg.workload.write_ratio = 0.6;
+  cfg.workload.index_op_ratio = p.index_ratio;
+  cfg.workload.dirty_read_ratio = 0.05;
+  cfg.workload.voluntary_abort_ratio = 0.1;
+  cfg.workload.seed = p.seed;
+  cfg.seed = p.seed ^ 0xABCD;
+  cfg.steal_flush_prob = p.steal_prob;
+  cfg.crashes = {
+      CrashPlan{60, {1}, /*restart_after=*/false},
+      CrashPlan{140, {3}, /*restart_after=*/false},
+  };
+  Harness h(cfg);
+  auto report = h.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->verify_status.ok()) << report->verify_status.ToString();
+  ASSERT_EQ(report->recoveries.size(), 2u);
+  // IFA: zero unnecessary aborts.
+  EXPECT_EQ(report->unnecessary_aborts(), 0u);
+  // Some work completed despite the crashes.
+  EXPECT_GT(report->exec.committed, 0u);
+  // The index is structurally sound at the end.
+  NodeId probe = h.db().machine().AliveNodes()[0];
+  EXPECT_TRUE(h.db().index().CheckStructure(probe).ok());
+}
+
+TEST(IfaPropertyTestExtras, CrashWithRestartAndSecondCrash) {
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = 4;
+  cfg.db.recovery = RecoveryConfig::VolatileSelectiveRedo();
+  cfg.num_records = 64;
+  cfg.workload.txns_per_node = 15;
+  cfg.workload.ops_per_txn = 5;
+  cfg.workload.seed = 31337;
+  cfg.steal_flush_prob = 0.05;
+  cfg.checkpoint_every_steps = 120;
+  cfg.crashes = {
+      CrashPlan{50, {2}, /*restart_after=*/true},
+      CrashPlan{150, {2}, /*restart_after=*/true},  // crash it again
+      CrashPlan{220, {0}, /*restart_after=*/false},
+  };
+  Harness h(cfg);
+  auto report = h.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->verify_status.ok()) << report->verify_status.ToString();
+  EXPECT_EQ(report->unnecessary_aborts(), 0u);
+}
+
+TEST(IfaPropertyTestExtras, BaselineRebootAbortsEverything) {
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = 6;
+  cfg.db.recovery = RecoveryConfig::BaselineRebootAll();
+  cfg.num_records = 96;
+  cfg.workload.txns_per_node = 10;
+  cfg.workload.seed = 5;
+  cfg.crashes = {CrashPlan{80, {1}, /*restart_after=*/true}};
+  Harness h(cfg);
+  auto report = h.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->verify_status.ok()) << report->verify_status.ToString();
+  ASSERT_EQ(report->recoveries.size(), 1u);
+  EXPECT_TRUE(report->recoveries[0].whole_machine_restart);
+  // The whole point: surviving-node transactions were aborted unnecessarily.
+  EXPECT_GT(report->unnecessary_aborts(), 0u);
+  // But the committed state is still consistent (FA holds, IFA does not).
+  EXPECT_GT(report->exec.committed, 0u);
+}
+
+TEST(IfaPropertyTestExtras, BaselineAbortDependentsAbortsSharers) {
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = 6;
+  cfg.db.recovery = RecoveryConfig::BaselineAbortDependents();
+  cfg.num_records = 32;  // tiny table => everyone shares lines
+  cfg.workload.txns_per_node = 12;
+  cfg.workload.ops_per_txn = 8;
+  cfg.workload.write_ratio = 0.8;
+  cfg.workload.seed = 11;
+  cfg.crashes = {CrashPlan{100, {2}, /*restart_after=*/false}};
+  Harness h(cfg);
+  auto report = h.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->verify_status.ok()) << report->verify_status.ToString();
+}
+
+TEST(IfaPropertyTestExtras, NoCrashRunIsClean) {
+  for (auto rc : {RecoveryConfig::VolatileSelectiveRedo(),
+                  RecoveryConfig::StableEagerRedoAll()}) {
+    HarnessConfig cfg;
+    cfg.db.machine.num_nodes = 4;
+    cfg.db.recovery = rc;
+    cfg.num_records = 64;
+    cfg.workload.txns_per_node = 10;
+    cfg.workload.index_op_ratio = 0.3;
+    cfg.workload.seed = 2024;
+    Harness h(cfg);
+    auto report = h.Run();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->verify_status.ok())
+        << rc.Name() << ": " << report->verify_status.ToString();
+    // Every script terminates in a commit or a voluntary abort.
+    EXPECT_EQ(report->exec.committed + report->exec.aborted_other, 4u * 10u);
+  }
+}
+
+}  // namespace
+}  // namespace smdb

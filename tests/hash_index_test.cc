@@ -1,0 +1,211 @@
+// Tests for the shared-memory hash index (section 4.2's "hash tables"),
+// including crash recovery via the standard recipe.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "hash/hash_index.h"
+#include "sim/machine.h"
+#include "storage/stable_log.h"
+
+namespace smdb {
+namespace {
+
+struct Fx {
+  Fx() : machine(MakeCfg()), stable(4), log(&machine, &stable),
+         lbm(LbmKind::kVolatile),
+         index(&machine, &log, &usn, &lbm, /*index_id=*/7,
+               /*capacity=*/512) {}
+  static MachineConfig MakeCfg() {
+    MachineConfig c;
+    c.num_nodes = 4;
+    return c;
+  }
+  Machine machine;
+  StableLogStore stable;
+  LogManager log;
+  UsnSource usn;
+  VolatileLbm lbm;
+  HashIndex index;
+};
+
+TEST(HashIndexTest, InsertLookupDelete) {
+  Fx f;
+  Lsn chain = kInvalidLsn;
+  TxnId t = MakeTxnId(0, 1);
+  ASSERT_TRUE(f.index.Insert(0, t, 42, {3, 9}, 0, &chain).ok());
+  auto r = f.index.Lookup(1, 42);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_value());
+  EXPECT_EQ(**r, (RecordId{3, 9}));
+  ASSERT_TRUE(f.index.Delete(1, t, 42, 0, &chain).ok());
+  r = f.index.Lookup(2, 42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->has_value());
+}
+
+TEST(HashIndexTest, DuplicateRejectedTombstoneReused) {
+  Fx f;
+  Lsn chain = kInvalidLsn;
+  TxnId t = MakeTxnId(0, 1);
+  ASSERT_TRUE(f.index.Insert(0, t, 5, {1, 1}, 0, &chain).ok());
+  EXPECT_EQ(f.index.Insert(0, t, 5, {2, 2}, 0, &chain).code(),
+            Status::Code::kInvalidArgument);
+  ASSERT_TRUE(f.index.Delete(0, t, 5, 0, &chain).ok());
+  ASSERT_TRUE(f.index.Insert(0, t, 5, {2, 2}, 0, &chain).ok());
+  auto r = f.index.Lookup(0, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, (RecordId{2, 2}));
+}
+
+TEST(HashIndexTest, ManyKeysAndCollisions) {
+  Fx f;
+  Lsn chain = kInvalidLsn;
+  TxnId t = MakeTxnId(0, 1);
+  for (uint64_t k = 1; k <= 200; ++k) {
+    ASSERT_TRUE(
+        f.index.Insert(0, t, k, {1, uint16_t(k)}, 0, &chain).ok())
+        << k;
+  }
+  for (uint64_t k = 1; k <= 200; ++k) {
+    auto r = f.index.Lookup(1, k);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->has_value()) << k;
+    EXPECT_EQ((*r)->slot, uint16_t(k));
+  }
+  auto snap = f.index.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->size(), 200u);
+}
+
+TEST(HashIndexTest, CommittedTombstonePurgeUnderPressure) {
+  Fx f;
+  Lsn chain = kInvalidLsn;
+  TxnId t = MakeTxnId(0, 1);
+  // Fill and delete (committed: tag 0) repeatedly; reuse must keep
+  // succeeding thanks to tombstone purging.
+  for (int round = 0; round < 6; ++round) {
+    for (uint64_t k = 1; k <= 200; ++k) {
+      ASSERT_TRUE(f.index.Insert(0, t, round * 1000 + k, {1, 1}, 0, &chain)
+                      .ok())
+          << "round " << round << " key " << k;
+    }
+    for (uint64_t k = 1; k <= 200; ++k) {
+      ASSERT_TRUE(f.index.Delete(0, t, round * 1000 + k, 0, &chain).ok());
+    }
+  }
+  EXPECT_GT(f.index.stats().purged_tombstones, 0u);
+}
+
+TEST(HashIndexTest, UncommittedTombstoneNotReclaimed) {
+  Fx f;
+  Lsn chain = kInvalidLsn;
+  TxnId t = MakeTxnId(2, 1);
+  ASSERT_TRUE(f.index.Insert(0, t, 9, {1, 1}, 0, &chain).ok());
+  // Tagged (uncommitted) delete: space must not be purged.
+  ASSERT_TRUE(f.index.Delete(2, t, 9, /*tag=*/3, &chain).ok());
+  auto snap = f.index.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_EQ(snap->size(), 1u);
+  EXPECT_EQ((*snap)[0].state, HashIndex::EntryState::kTombstone);
+  EXPECT_EQ((*snap)[0].tag, 3);
+}
+
+TEST(HashIndexTest, CrashRecoveryRedoAndUndo) {
+  Fx f;
+  Lsn chain = kInvalidLsn;
+  // Committed groundwork by a node-3 txn, snapshot taken afterwards? No:
+  // snapshot FIRST, so recovery must redo from logs.
+  ASSERT_TRUE(f.index.CheckpointToStable(0).ok());
+  TxnId tc = MakeTxnId(3, 1);
+  ASSERT_TRUE(f.index.Insert(3, tc, 100, {5, 5}, 0, &chain).ok());
+  ASSERT_TRUE(f.log.Force(3, 3).ok());  // committed: records stable
+
+  // Active txn on node 1: insert + logical delete, tagged.
+  TxnId ta = MakeTxnId(1, 2);
+  ASSERT_TRUE(f.index.Insert(1, ta, 200, {6, 6}, /*tag=*/2, &chain).ok());
+  ASSERT_TRUE(f.index.Delete(1, ta, 100, /*tag=*/2, &chain).ok());
+
+  // Survivor's active insert on node 0.
+  TxnId ts = MakeTxnId(0, 3);
+  ASSERT_TRUE(f.index.Insert(0, ts, 300, {7, 7}, /*tag=*/1, &chain).ok());
+
+  f.machine.CrashNode(1);
+  ASSERT_TRUE(f.index.RecoverAfterCrash(0, {1}, {ta, ts}).ok());
+
+  // Crashed txn's insert removed, its delete unmarked; committed and
+  // surviving entries intact.
+  auto l100 = f.index.Lookup(0, 100);
+  ASSERT_TRUE(l100.ok());
+  EXPECT_TRUE(l100->has_value()) << "crashed delete not unmarked";
+  auto l200 = f.index.Lookup(0, 200);
+  ASSERT_TRUE(l200.ok());
+  EXPECT_FALSE(l200->has_value()) << "crashed insert not removed";
+  auto l300 = f.index.Lookup(0, 300);
+  ASSERT_TRUE(l300.ok());
+  EXPECT_TRUE(l300->has_value()) << "survivor's insert lost";
+}
+
+TEST(HashIndexTest, RandomizedCrashAgainstShadow) {
+  Rng rng(314159);
+  for (int round = 0; round < 4; ++round) {
+    Fx f;
+    ASSERT_TRUE(f.index.CheckpointToStable(0).ok());
+    Lsn chain = kInvalidLsn;
+    // Shadow of committed state; per-node one active txn with its own ops.
+    std::map<uint64_t, RecordId> committed;
+    std::map<uint64_t, std::pair<bool, RecordId>> active;  // by node 1
+    TxnId active_txn = MakeTxnId(1, 900 + round);
+
+    for (int op = 0; op < 300; ++op) {
+      uint64_t key = rng.Range(1, 120);
+      NodeId node = static_cast<NodeId>(rng.Uniform(4));
+      bool is_active_txn = node == 1;
+      TxnId txn = is_active_txn ? active_txn
+                                : MakeTxnId(node, 1000 + op);
+      uint8_t tag = is_active_txn ? 2 : 0;
+      if (active.contains(key) && !is_active_txn) continue;  // "locked"
+      if (rng.Bernoulli(0.6)) {
+        RecordId rid{uint32_t(op + 1), uint16_t(key)};
+        Status s = f.index.Insert(node, txn, key, rid, tag, &chain);
+        if (s.ok()) {
+          if (is_active_txn) {
+            active[key] = {true, rid};
+          } else {
+            committed[key] = rid;
+            (void)f.log.Force(node, node);  // "commit"
+          }
+        }
+      } else {
+        Status s = f.index.Delete(node, txn, key, tag, &chain);
+        if (s.ok()) {
+          if (is_active_txn) {
+            active[key] = {false, {}};
+          } else {
+            committed.erase(key);
+            (void)f.log.Force(node, node);
+          }
+        }
+      }
+    }
+    f.machine.CrashNode(1);
+    ASSERT_TRUE(f.index.RecoverAfterCrash(0, {1}, {active_txn}).ok());
+    // Post-recovery visible state must equal the committed shadow.
+    for (uint64_t key = 1; key <= 120; ++key) {
+      auto r = f.index.Lookup(0, key);
+      ASSERT_TRUE(r.ok());
+      auto it = committed.find(key);
+      if (it == committed.end()) {
+        EXPECT_FALSE(r->has_value()) << "round " << round << " key " << key;
+      } else {
+        ASSERT_TRUE(r->has_value()) << "round " << round << " key " << key;
+        EXPECT_EQ(**r, it->second) << "round " << round << " key " << key;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smdb

@@ -1,0 +1,143 @@
+// Tests that the IFA oracle itself detects violations: a checker that
+// cannot fail is no oracle. Each test fabricates a specific corruption by
+// bypassing the transaction layer and asserts the checker flags it.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/ifa_checker.h"
+
+namespace smdb {
+namespace {
+
+std::vector<uint8_t> Value(uint8_t fill) {
+  return std::vector<uint8_t>(22, fill);
+}
+
+struct Fx {
+  Fx() : db(MakeCfg()), checker(&db) {
+    db.txn().AddObserver(&checker);
+    auto t = db.CreateTable(16);
+    EXPECT_TRUE(t.ok());
+    table = *t;
+    checker.RegisterTable(table);
+  }
+  static DatabaseConfig MakeCfg() {
+    DatabaseConfig c;
+    c.machine.num_nodes = 4;
+    return c;
+  }
+  Database db;
+  IfaChecker checker;
+  std::vector<RecordId> table;
+};
+
+TEST(IfaCheckerTest, CleanStateVerifies) {
+  Fx fx;
+  EXPECT_TRUE(fx.checker.VerifyAll().ok());
+  Transaction* t = fx.db.txn().Begin(0);
+  ASSERT_TRUE(fx.db.txn().Update(t, fx.table[0], Value(1)).ok());
+  // Pending state is part of the expectation.
+  EXPECT_TRUE(fx.checker.VerifyAll().ok());
+  ASSERT_TRUE(fx.db.txn().Commit(t).ok());
+  EXPECT_TRUE(fx.checker.VerifyAll().ok());
+}
+
+TEST(IfaCheckerTest, DetectsLostCommittedUpdate) {
+  Fx fx;
+  Transaction* t = fx.db.txn().Begin(0);
+  ASSERT_TRUE(fx.db.txn().Update(t, fx.table[0], Value(1)).ok());
+  ASSERT_TRUE(fx.db.txn().Commit(t).ok());
+  // Corrupt: overwrite the committed value behind the oracle's back.
+  SlotImage img;
+  img.usn = 9999;
+  img.tag = kTagNone;
+  img.data = Value(0x77);
+  ASSERT_TRUE(fx.db.records().WriteSlot(1, fx.table[0], img).ok());
+  Status v = fx.checker.VerifyRecords();
+  EXPECT_FALSE(v.ok());
+  EXPECT_NE(v.ToString().find("IFA violation"), std::string::npos);
+}
+
+TEST(IfaCheckerTest, DetectsLostPendingUpdate) {
+  Fx fx;
+  Transaction* t = fx.db.txn().Begin(0);
+  ASSERT_TRUE(fx.db.txn().Update(t, fx.table[0], Value(1)).ok());
+  // Corrupt: revert the record while the transaction is still active.
+  SlotImage img;
+  img.usn = 9999;
+  img.tag = kTagNone;
+  img.data = Value(0);
+  ASSERT_TRUE(fx.db.records().WriteSlot(1, fx.table[0], img).ok());
+  EXPECT_FALSE(fx.checker.VerifyRecords().ok());
+}
+
+TEST(IfaCheckerTest, DetectsResurrectedIndexKey) {
+  Fx fx;
+  Transaction* t = fx.db.txn().Begin(0);
+  ASSERT_TRUE(fx.db.txn().IndexInsert(t, 5, fx.table[0]).ok());
+  ASSERT_TRUE(fx.db.txn().Commit(t).ok());
+  Transaction* t2 = fx.db.txn().Begin(1);
+  ASSERT_TRUE(fx.db.txn().IndexDelete(t2, 5).ok());
+  ASSERT_TRUE(fx.db.txn().Commit(t2).ok());
+  EXPECT_TRUE(fx.checker.VerifyIndex().ok());
+  // Corrupt: resurrect the key behind the oracle's back.
+  Lsn chain = kInvalidLsn;
+  ASSERT_TRUE(fx.db.index()
+                  .UndoDelete(0, MakeTxnId(0, 42), 5, &chain, false)
+                  .ok());
+  EXPECT_FALSE(fx.checker.VerifyIndex().ok());
+}
+
+TEST(IfaCheckerTest, DetectsMissingIndexKey) {
+  Fx fx;
+  Transaction* t = fx.db.txn().Begin(0);
+  ASSERT_TRUE(fx.db.txn().IndexInsert(t, 5, fx.table[0]).ok());
+  ASSERT_TRUE(fx.db.txn().Commit(t).ok());
+  Lsn chain = kInvalidLsn;
+  ASSERT_TRUE(fx.db.index()
+                  .UndoInsert(0, MakeTxnId(0, 42), 5, &chain, false)
+                  .ok());
+  Status v = fx.checker.VerifyIndex();
+  EXPECT_FALSE(v.ok());
+  EXPECT_NE(v.ToString().find("missing live key"), std::string::npos);
+}
+
+TEST(IfaCheckerTest, DetectsLockHeldByFinishedTxn) {
+  Fx fx;
+  Transaction* t = fx.db.txn().Begin(0);
+  ASSERT_TRUE(fx.db.txn().Read(t, fx.table[0]).ok());
+  ASSERT_TRUE(fx.db.txn().Commit(t).ok());
+  // Corrupt: re-insert a holder entry for the committed transaction.
+  Lcb lcb;
+  lcb.name = RecordLockName(fx.table[0]);
+  lcb.holders = {{t->id, LockMode::kShared}};
+  ASSERT_TRUE(fx.db.locks().RebuildLcb(1, lcb).ok());
+  EXPECT_FALSE(fx.checker.VerifyLocks().ok());
+}
+
+TEST(IfaCheckerTest, DetectsLostGrantedLock) {
+  Fx fx;
+  Transaction* t = fx.db.txn().Begin(0);
+  ASSERT_TRUE(fx.db.txn().Read(t, fx.table[0]).ok());
+  // Corrupt: drop the active transaction's lock behind its back.
+  auto dropped = fx.db.locks().DropTxnLocks(1, {t->id});
+  ASSERT_TRUE(dropped.ok());
+  ASSERT_EQ(*dropped, 1);
+  EXPECT_FALSE(fx.checker.VerifyLocks().ok());
+  // Clean up so the fixture teardown stays consistent.
+  ASSERT_TRUE(fx.db.txn().Abort(t).ok());
+}
+
+TEST(IfaCheckerTest, AbortDropsPendingExpectations) {
+  Fx fx;
+  Transaction* t = fx.db.txn().Begin(0);
+  ASSERT_TRUE(fx.db.txn().Update(t, fx.table[0], Value(1)).ok());
+  ASSERT_TRUE(fx.db.txn().IndexInsert(t, 9, fx.table[1]).ok());
+  ASSERT_TRUE(fx.db.txn().Abort(t).ok());
+  EXPECT_TRUE(fx.checker.VerifyAll().ok())
+      << fx.checker.VerifyAll().ToString();
+}
+
+}  // namespace
+}  // namespace smdb

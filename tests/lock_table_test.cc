@@ -1,0 +1,276 @@
+// Unit tests for the shared-memory lock manager: LCB codecs, grant/queue
+// semantics, promotions, lock-op logging, and crash behaviour of one-line
+// vs two-line LCB layouts (section 4.2.2).
+
+#include <gtest/gtest.h>
+
+#include "lockmgr/lock_table.h"
+#include "sim/machine.h"
+
+namespace smdb {
+namespace {
+
+struct LockFixture {
+  explicit LockFixture(bool two_line = false)
+      : machine(MakeCfg()),
+        stable(4),
+        log(&machine, &stable),
+        locks(&machine, &log, MakeLtCfg(two_line)) {}
+  static MachineConfig MakeCfg() {
+    MachineConfig c;
+    c.num_nodes = 4;
+    return c;
+  }
+  static LockTableConfig MakeLtCfg(bool two_line) {
+    LockTableConfig c;
+    c.buckets = 64;
+    c.two_line_lcb = two_line;
+    return c;
+  }
+  Machine machine;
+  StableLogStore stable;
+  LogManager log;
+  LockTable locks;
+};
+
+TEST(LcbCodecTest, SingleLineRoundTrip) {
+  LcbCodec codec(128, /*two_line=*/false);
+  EXPECT_EQ(codec.lines(), 1u);
+  Lcb lcb;
+  lcb.name = 0xABCD;
+  lcb.holders = {{MakeTxnId(0, 1), LockMode::kShared},
+                 {MakeTxnId(1, 2), LockMode::kShared}};
+  lcb.waiters = {{MakeTxnId(2, 3), LockMode::kExclusive}};
+  std::vector<uint8_t> buf(codec.bytes());
+  codec.Encode(lcb, buf.data());
+  Lcb out = codec.Decode(buf.data());
+  EXPECT_EQ(out.name, lcb.name);
+  EXPECT_EQ(out.holders, lcb.holders);
+  EXPECT_EQ(out.waiters, lcb.waiters);
+}
+
+TEST(LcbCodecTest, TwoLineRoundTripAndCapacity) {
+  LcbCodec codec(128, /*two_line=*/true);
+  EXPECT_EQ(codec.lines(), 2u);
+  EXPECT_GT(codec.holders_capacity(), LcbCodec(128, false).holders_capacity());
+  Lcb lcb;
+  lcb.name = 7;
+  for (int i = 0; i < 10; ++i) {
+    lcb.holders.push_back({MakeTxnId(i % 4, i), LockMode::kShared});
+  }
+  std::vector<uint8_t> buf(codec.bytes());
+  codec.Encode(lcb, buf.data());
+  EXPECT_EQ(codec.Decode(buf.data()).holders.size(), 10u);
+}
+
+TEST(LcbTest, GrantLogic) {
+  Lcb lcb;
+  lcb.name = 1;
+  EXPECT_TRUE(lcb.CanGrant(MakeTxnId(0, 1), LockMode::kExclusive));
+  lcb.holders.push_back({MakeTxnId(0, 1), LockMode::kShared});
+  EXPECT_TRUE(lcb.CanGrant(MakeTxnId(1, 1), LockMode::kShared));
+  EXPECT_FALSE(lcb.CanGrant(MakeTxnId(1, 1), LockMode::kExclusive));
+  // FIFO fairness: an S request behind a queued X must wait.
+  lcb.waiters.push_back({MakeTxnId(2, 1), LockMode::kExclusive});
+  EXPECT_FALSE(lcb.CanGrant(MakeTxnId(3, 1), LockMode::kShared));
+}
+
+TEST(LockTableTest, SharedGrantsConcurrently) {
+  LockFixture f;
+  TxnId t0 = MakeTxnId(0, 1), t1 = MakeTxnId(1, 1);
+  auto r0 = f.locks.Acquire(0, t0, 100, LockMode::kShared, nullptr);
+  auto r1 = f.locks.Acquire(1, t1, 100, LockMode::kShared, nullptr);
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r0, LockResult::kGranted);
+  EXPECT_EQ(*r1, LockResult::kGranted);
+  auto holders = f.locks.Holders(0, 100);
+  ASSERT_TRUE(holders.ok());
+  EXPECT_EQ(holders->size(), 2u);
+}
+
+TEST(LockTableTest, ExclusiveConflictQueues) {
+  LockFixture f;
+  TxnId t0 = MakeTxnId(0, 1), t1 = MakeTxnId(1, 1);
+  ASSERT_TRUE(f.locks.Acquire(0, t0, 5, LockMode::kExclusive, nullptr).ok());
+  auto r = f.locks.Acquire(1, t1, 5, LockMode::kExclusive, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, LockResult::kQueued);
+  // Release promotes the waiter.
+  ASSERT_TRUE(f.locks.Release(0, t0, 5, nullptr).ok());
+  auto poll = f.locks.PollGrant(1, t1, 5, LockMode::kExclusive, nullptr);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_EQ(*poll, LockResult::kGranted);
+}
+
+TEST(LockTableTest, UpgradeSoleHolder) {
+  LockFixture f;
+  TxnId t0 = MakeTxnId(0, 1);
+  ASSERT_TRUE(f.locks.Acquire(0, t0, 5, LockMode::kShared, nullptr).ok());
+  auto r = f.locks.Acquire(0, t0, 5, LockMode::kExclusive, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, LockResult::kGranted);
+  auto mode = f.locks.HeldMode(0, t0, 5);
+  ASSERT_TRUE(mode.ok());
+  EXPECT_EQ(*mode, LockMode::kExclusive);
+}
+
+TEST(LockTableTest, UpgradeWithOtherSharersQueues) {
+  LockFixture f;
+  TxnId t0 = MakeTxnId(0, 1), t1 = MakeTxnId(1, 1);
+  ASSERT_TRUE(f.locks.Acquire(0, t0, 5, LockMode::kShared, nullptr).ok());
+  ASSERT_TRUE(f.locks.Acquire(1, t1, 5, LockMode::kShared, nullptr).ok());
+  auto r = f.locks.Acquire(0, t0, 5, LockMode::kExclusive, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, LockResult::kQueued);
+  // Releasing the other sharer promotes the upgrade.
+  ASSERT_TRUE(f.locks.Release(1, t1, 5, nullptr).ok());
+  auto poll = f.locks.PollGrant(0, t0, 5, LockMode::kExclusive, nullptr);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_EQ(*poll, LockResult::kGranted);
+}
+
+TEST(LockTableTest, ReleaseRemovesWaiterToo) {
+  LockFixture f;
+  TxnId t0 = MakeTxnId(0, 1), t1 = MakeTxnId(1, 1);
+  ASSERT_TRUE(f.locks.Acquire(0, t0, 5, LockMode::kExclusive, nullptr).ok());
+  ASSERT_TRUE(f.locks.Acquire(1, t1, 5, LockMode::kExclusive, nullptr).ok());
+  // t1 gives up (e.g. deadlock victim): release must clear its waiter slot.
+  ASSERT_TRUE(f.locks.Release(1, t1, 5, nullptr).ok());
+  auto lcb = f.locks.GetLcb(0, 5);
+  ASSERT_TRUE(lcb.ok());
+  EXPECT_TRUE(lcb->waiters.empty());
+}
+
+TEST(LockTableTest, LockOpsAreLogged) {
+  LockFixture f;
+  TxnId t0 = MakeTxnId(0, 1);
+  Lsn chain = kInvalidLsn;
+  ASSERT_TRUE(f.locks.Acquire(0, t0, 5, LockMode::kShared, &chain).ok());
+  EXPECT_NE(chain, kInvalidLsn);
+  ASSERT_TRUE(f.locks.Release(0, t0, 5, &chain).ok());
+  int acquires = 0, releases = 0;
+  f.log.ForEachAll(0, [&](const LogRecord& rec) {
+    if (rec.type != LogRecordType::kLockOp) return;
+    if (rec.lock_op().op == LockOpPayload::Op::kAcquire) ++acquires;
+    if (rec.lock_op().op == LockOpPayload::Op::kRelease) ++releases;
+  });
+  EXPECT_EQ(acquires, 1);  // read locks are logged (Table 1)
+  EXPECT_EQ(releases, 1);
+}
+
+TEST(LockTableTest, ManyDistinctNamesProbeCorrectly) {
+  LockFixture f;
+  // More names than fit without collisions in 64 buckets.
+  for (uint64_t name = 1; name <= 40; ++name) {
+    TxnId t = MakeTxnId(name % 4, name);
+    auto r = f.locks.Acquire(static_cast<NodeId>(name % 4), t, name,
+                             LockMode::kExclusive, nullptr);
+    ASSERT_TRUE(r.ok()) << name;
+    EXPECT_EQ(*r, LockResult::kGranted);
+  }
+  for (uint64_t name = 1; name <= 40; ++name) {
+    TxnId t = MakeTxnId(name % 4, name);
+    auto mode = f.locks.HeldMode(0, t, name);
+    ASSERT_TRUE(mode.ok());
+    EXPECT_EQ(*mode, LockMode::kExclusive) << name;
+  }
+}
+
+TEST(LockTableTest, DropTxnLocksPromotesWaiters) {
+  LockFixture f;
+  TxnId t0 = MakeTxnId(0, 1), t1 = MakeTxnId(1, 1);
+  ASSERT_TRUE(f.locks.Acquire(0, t0, 9, LockMode::kExclusive, nullptr).ok());
+  ASSERT_TRUE(f.locks.Acquire(1, t1, 9, LockMode::kExclusive, nullptr).ok());
+  auto dropped = f.locks.DropTxnLocks(2, {t0});
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 1);
+  auto lcb = f.locks.GetLcb(2, 9);
+  ASSERT_TRUE(lcb.ok());
+  ASSERT_EQ(lcb->holders.size(), 1u);
+  EXPECT_EQ(lcb->holders[0].txn, t1);
+}
+
+TEST(LockTableTest, SingleLineLcbDiesWholesale) {
+  LockFixture f(/*two_line=*/false);
+  TxnId t0 = MakeTxnId(0, 1), t1 = MakeTxnId(1, 1);
+  ASSERT_TRUE(f.locks.Acquire(0, t0, 9, LockMode::kShared, nullptr).ok());
+  ASSERT_TRUE(f.locks.Acquire(1, t1, 9, LockMode::kShared, nullptr).ok());
+  // The LCB line now lives on node 1 (last toucher). Crash it.
+  f.machine.CrashNode(1);
+  int lost = 0;
+  f.locks.SnapshotAll(&lost);
+  EXPECT_EQ(lost, 1);  // all-or-nothing loss
+  EXPECT_EQ(f.locks.LostLines().size(), 1u);
+  EXPECT_EQ(f.locks.ClearLostLines(), 1);
+  EXPECT_TRUE(f.locks.LostLines().empty());
+}
+
+TEST(LockTableTest, RebuildLcbRestoresState) {
+  LockFixture f;
+  TxnId t0 = MakeTxnId(0, 1);
+  Lcb lcb;
+  lcb.name = 33;
+  lcb.holders = {{t0, LockMode::kShared}};
+  ASSERT_TRUE(f.locks.RebuildLcb(2, lcb).ok());
+  auto mode = f.locks.HeldMode(0, t0, 33);
+  ASSERT_TRUE(mode.ok());
+  EXPECT_EQ(*mode, LockMode::kShared);
+}
+
+TEST(LockTableTest, RebuildPromotesStrandedWaiter) {
+  LockFixture f;
+  TxnId t1 = MakeTxnId(1, 1);
+  Lcb lcb;
+  lcb.name = 44;
+  lcb.waiters = {{t1, LockMode::kExclusive}};  // no holders: must promote
+  ASSERT_TRUE(f.locks.RebuildLcb(2, lcb).ok());
+  auto got = f.locks.GetLcb(0, 44);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->holders.size(), 1u);
+  EXPECT_TRUE(got->waiters.empty());
+}
+
+TEST(LockTableTest, ReacquireHeldLockIsGrantedCheaply) {
+  LockFixture f;
+  TxnId t0 = MakeTxnId(0, 1);
+  ASSERT_TRUE(f.locks.Acquire(0, t0, 5, LockMode::kExclusive, nullptr).ok());
+  auto r = f.locks.Acquire(0, t0, 5, LockMode::kShared, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, LockResult::kGranted);
+  auto lcb = f.locks.GetLcb(0, 5);
+  ASSERT_TRUE(lcb.ok());
+  EXPECT_EQ(lcb->holders.size(), 1u);  // no duplicate entries
+}
+
+// Regression: LCB slots must be reclaimed when the last holder/waiter
+// leaves, or long-running workloads exhaust the probe window and every new
+// lock name spins on TryAgain forever.
+TEST(LockTableTest, SlotReclamationSupportsUnboundedNames) {
+  LockFixture f;  // 64 buckets, probe window 32
+  for (uint64_t name = 1; name <= 5000; ++name) {
+    TxnId t = MakeTxnId(0, name);
+    auto r = f.locks.Acquire(0, t, name, LockMode::kExclusive, nullptr);
+    ASSERT_TRUE(r.ok()) << "name " << name << ": "
+                        << r.status().ToString();
+    ASSERT_EQ(*r, LockResult::kGranted);
+    ASSERT_TRUE(f.locks.Release(0, t, name, nullptr).ok());
+  }
+  // The table is empty again.
+  EXPECT_TRUE(f.locks.SnapshotAll().empty());
+}
+
+TEST(LockTableTest, ReleaseOfUnknownNameIsIdempotent) {
+  LockFixture f;
+  EXPECT_TRUE(f.locks.Release(0, MakeTxnId(0, 1), 424242, nullptr).ok());
+}
+
+TEST(LockTableTest, RecordAndKeyLockNamesDisjoint) {
+  EXPECT_NE(RecordLockName({1, 2}), KeyLockName(1, 2));
+  EXPECT_NE(RecordLockName({0, 0}), KeyLockName(0, 0));
+  EXPECT_NE(RecordLockName({1, 2}), RecordLockName({2, 1}));
+  EXPECT_NE(KeyLockName(1, 5), KeyLockName(2, 5));
+}
+
+}  // namespace
+}  // namespace smdb

@@ -1,0 +1,451 @@
+// Regression and edge-case tests for restart recovery: scenarios distilled
+// from subtle interactions found during development, each encoding an
+// invariant the protocols must uphold.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/ifa_checker.h"
+#include "core/recovery_manager.h"
+
+namespace smdb {
+namespace {
+
+std::vector<uint8_t> Value(uint8_t fill) {
+  return std::vector<uint8_t>(22, fill);
+}
+
+struct Fx {
+  explicit Fx(RecoveryConfig rc, uint16_t nodes = 4,
+              bool two_line_lcb = false)
+      : db(MakeCfg(rc, nodes, two_line_lcb)), checker(&db) {
+    db.txn().AddObserver(&checker);
+    auto t = db.CreateTable(16);
+    EXPECT_TRUE(t.ok());
+    table = *t;
+    checker.RegisterTable(table);
+    EXPECT_TRUE(db.Checkpoint(0).ok());
+  }
+  static DatabaseConfig MakeCfg(RecoveryConfig rc, uint16_t nodes,
+                                bool two_line_lcb) {
+    DatabaseConfig c;
+    c.machine.num_nodes = nodes;
+    c.recovery = rc;
+    c.lock_table.two_line_lcb = two_line_lcb;
+    return c;
+  }
+  Database db;
+  IfaChecker checker;
+  std::vector<RecordId> table;
+};
+
+// A transaction that aborted *before* the crash, with its update stolen to
+// the stable database but its CLRs (and abort record) forced as well, must
+// NOT be re-undone: a later committed value would be clobbered by the
+// stale before image. (Regression: stable-log undo originally keyed only
+// on commit records.)
+TEST(RecoveryEdgeTest, PreCrashAbortWithStableClrsNotReundone) {
+  for (auto rc : {RecoveryConfig::VolatileSelectiveRedo(),
+                  RecoveryConfig::VolatileRedoAll()}) {
+    Fx fx(rc);
+    RecordId r = fx.table[0];
+    // t1 on node 1 updates r, the page is stolen, then t1 aborts (CLR) and
+    // the log is forced (e.g. by a later commit on node 1).
+    Transaction* t1 = fx.db.txn().Begin(1);
+    ASSERT_TRUE(fx.db.txn().Update(t1, r, Value(0x11)).ok());
+    ASSERT_TRUE(fx.db.buffers().FlushPage(2, r.page).ok());
+    ASSERT_TRUE(fx.db.txn().Abort(t1).ok());
+    ASSERT_TRUE(fx.db.log().Force(1, 1).ok());
+    // t2 on node 1 commits a new value for r.
+    Transaction* t2 = fx.db.txn().Begin(1);
+    ASSERT_TRUE(fx.db.txn().Update(t2, r, Value(0x22)).ok());
+    ASSERT_TRUE(fx.db.txn().Commit(t2).ok());
+    // Crash node 1: t2's committed value must survive (redo), t1 must not
+    // be undone again.
+    auto outcome = fx.db.Crash({1});
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_TRUE(fx.checker.VerifyAll().ok())
+        << rc.Name() << ": " << fx.checker.VerifyAll().ToString();
+    auto slot = fx.db.records().SnoopSlot(r);
+    ASSERT_TRUE(slot.ok());
+    EXPECT_EQ(slot->data, Value(0x22)) << rc.Name();
+  }
+}
+
+// A pre-crash abort whose CLRs stayed volatile (lost with the node) while
+// the original update was stolen: recovery must undo from the stable log.
+TEST(RecoveryEdgeTest, PreCrashAbortWithVolatileClrsIsUndone) {
+  for (auto rc : {RecoveryConfig::VolatileSelectiveRedo(),
+                  RecoveryConfig::VolatileRedoAll()}) {
+    Fx fx(rc);
+    RecordId r = fx.table[0];
+    Transaction* t1 = fx.db.txn().Begin(1);
+    ASSERT_TRUE(fx.db.txn().Update(t1, r, Value(0x33)).ok());
+    ASSERT_TRUE(fx.db.buffers().FlushPage(2, r.page).ok());  // steals 0x33
+    ASSERT_TRUE(fx.db.txn().Abort(t1).ok());  // CLR volatile only
+    auto outcome = fx.db.Crash({1});
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_TRUE(fx.checker.VerifyAll().ok())
+        << rc.Name() << ": " << fx.checker.VerifyAll().ToString();
+    auto slot = fx.db.records().SnoopSlot(r);
+    ASSERT_TRUE(slot.ok());
+    EXPECT_EQ(slot->data, Value(0)) << rc.Name();
+  }
+}
+
+// Cross-node index replay ordering: an insert on (what becomes) a crashed
+// node followed by a committed delete on a survivor. Replay must not
+// resurrect the key regardless of per-node log order. (Regression: redo of
+// a delete for a missing entry was dropped before global USN ordering.)
+TEST(RecoveryEdgeTest, CrossNodeInsertThenDeleteReplay) {
+  for (auto rc : {RecoveryConfig::VolatileRedoAll(),
+                  RecoveryConfig::VolatileSelectiveRedo()}) {
+    Fx fx(rc);
+    Transaction* ti = fx.db.txn().Begin(2);
+    ASSERT_TRUE(fx.db.txn().IndexInsert(ti, 66, fx.table[0]).ok());
+    ASSERT_TRUE(fx.db.txn().Commit(ti).ok());
+    Transaction* td = fx.db.txn().Begin(1);
+    ASSERT_TRUE(fx.db.txn().IndexDelete(td, 66).ok());
+    ASSERT_TRUE(fx.db.txn().Commit(td).ok());
+    auto outcome = fx.db.Crash({2});
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_TRUE(fx.checker.VerifyAll().ok())
+        << rc.Name() << ": " << fx.checker.VerifyAll().ToString();
+    auto l = fx.db.index().Lookup(0, 66);
+    ASSERT_TRUE(l.ok());
+    EXPECT_FALSE(l->has_value()) << rc.Name() << ": key resurrected";
+  }
+}
+
+// Same-transaction multi-update chains must unwind fully during recovery
+// undo (the engagement rule's same-txn case).
+TEST(RecoveryEdgeTest, MultiUpdateChainUndo) {
+  Fx fx(RecoveryConfig::VolatileSelectiveRedo());
+  RecordId r = fx.table[0];
+  Transaction* setup = fx.db.txn().Begin(3);
+  ASSERT_TRUE(fx.db.txn().Update(setup, r, Value(0x10)).ok());
+  ASSERT_TRUE(fx.db.txn().Commit(setup).ok());
+
+  Transaction* t = fx.db.txn().Begin(1);
+  ASSERT_TRUE(fx.db.txn().Update(t, r, Value(0x21)).ok());
+  ASSERT_TRUE(fx.db.buffers().FlushPage(2, r.page).ok());  // steal v1
+  ASSERT_TRUE(fx.db.txn().Update(t, r, Value(0x22)).ok());
+  ASSERT_TRUE(fx.db.buffers().FlushPage(2, r.page).ok());  // steal v2
+  auto outcome = fx.db.Crash({1});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(fx.checker.VerifyAll().ok())
+      << fx.checker.VerifyAll().ToString();
+  auto slot = fx.db.records().SnoopSlot(r);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(slot->data, Value(0x10));
+}
+
+// Two-line LCBs: a crash can destroy one of the two lines ("arbitrary
+// segments"); the restart procedure rebuilds the whole LCB from surviving
+// logs (section 4.2.2's harder scenario).
+TEST(RecoveryEdgeTest, TwoLineLcbPartialLossRebuilt) {
+  Fx fx(RecoveryConfig::VolatileSelectiveRedo(), 4, /*two_line_lcb=*/true);
+  Transaction* t0 = fx.db.txn().Begin(0);
+  Transaction* t1 = fx.db.txn().Begin(1);
+  ASSERT_TRUE(fx.db.txn().Read(t0, fx.table[5]).ok());
+  ASSERT_TRUE(fx.db.txn().Read(t1, fx.table[5]).ok());
+  // t2 queues an X request behind the two S holders.
+  Transaction* t2 = fx.db.txn().Begin(2);
+  ASSERT_TRUE(fx.db.txn().Update(t2, fx.table[5], Value(1)).IsBusy());
+
+  auto outcome = fx.db.Crash({1});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(fx.checker.VerifyAll().ok())
+      << fx.checker.VerifyAll().ToString();
+  uint64_t name = RecordLockName(fx.table[5]);
+  auto lcb = fx.db.locks().GetLcb(0, name);
+  ASSERT_TRUE(lcb.ok());
+  // Survivor t0 still holds S; t2 still waits; crashed t1 is gone.
+  ASSERT_EQ(lcb->holders.size(), 1u);
+  EXPECT_EQ(lcb->holders[0].txn, t0->id);
+  ASSERT_EQ(lcb->waiters.size(), 1u);
+  EXPECT_EQ(lcb->waiters[0].txn, t2->id);
+  // Once t0 finishes, t2 gets the lock.
+  ASSERT_TRUE(fx.db.txn().Commit(t0).ok());
+  auto poll = fx.db.txn().PollLock(t2, name, LockMode::kExclusive);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_EQ(*poll, LockResult::kGranted);
+}
+
+// The early-commit ablation: with structural early commit disabled, a
+// crash that destroys a freshly split leaf loses committed index entries —
+// the dependency the paper's rule exists to prevent. The test documents
+// the violation (the checker must catch it).
+TEST(RecoveryEdgeTest, NoEarlyCommitLosesSplitStructure) {
+  RecoveryConfig rc = RecoveryConfig::VolatileSelectiveRedo();
+  rc.early_commit_structural = false;
+  DatabaseConfig cfg;
+  cfg.machine.num_nodes = 4;
+  cfg.recovery = rc;
+  Database db(cfg);
+  IfaChecker checker(&db);
+  db.txn().AddObserver(&checker);
+  auto table = db.CreateTable(8);
+  ASSERT_TRUE(table.ok());
+  checker.RegisterTable(*table);
+  ASSERT_TRUE(db.Checkpoint(0).ok());
+
+  // Node 2 inserts enough committed keys to split the root leaf. Without
+  // early commit the split stays volatile.
+  for (int batch = 0; batch < 5; ++batch) {
+    Transaction* t = db.txn().Begin(2);
+    for (uint64_t i = 0; i < 40; ++i) {
+      ASSERT_TRUE(
+          db.txn().IndexInsert(t, batch * 40 + i + 1, (*table)[0]).ok());
+    }
+    ASSERT_TRUE(db.txn().Commit(t).ok());
+  }
+  ASSERT_GT(db.index().stats().splits, 0u);
+  ASSERT_EQ(db.index().stats().early_commits, 0u);
+
+  // Crash the node that performed the splits: the moved entries' only
+  // up-to-date homes die with it. The damage shows up either as a recovery
+  // failure (the reloaded pre-split structure is unusable) or as an index
+  // verification failure — both are the IFA violation the early-commit
+  // rule prevents.
+  auto outcome = db.Crash({2});
+  bool violated = !outcome.ok() || !checker.VerifyIndex().ok();
+  EXPECT_TRUE(violated)
+      << "expected an IFA violation with early commit disabled";
+}
+
+// With early commit enabled the identical scenario is safe.
+TEST(RecoveryEdgeTest, EarlyCommitPreservesSplitStructure) {
+  Fx fx(RecoveryConfig::VolatileSelectiveRedo());
+  for (int batch = 0; batch < 5; ++batch) {
+    Transaction* t = fx.db.txn().Begin(2);
+    for (uint64_t i = 0; i < 40; ++i) {
+      ASSERT_TRUE(
+          fx.db.txn().IndexInsert(t, batch * 40 + i + 1, fx.table[0]).ok());
+    }
+    ASSERT_TRUE(fx.db.txn().Commit(t).ok());
+  }
+  ASSERT_GT(fx.db.index().stats().splits, 0u);
+  auto outcome = fx.db.Crash({2});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(fx.checker.VerifyAll().ok())
+      << fx.checker.VerifyAll().ToString();
+  NodeId probe = fx.db.machine().AliveNodes()[0];
+  EXPECT_TRUE(fx.db.index().CheckStructure(probe).ok());
+}
+
+// The WAL gate must refuse to flush a page whose covering log records died
+// with a crashed node (flushing would persist unrecoverable state).
+TEST(RecoveryEdgeTest, WalGateBlocksFlushAfterUpdaterCrash) {
+  // Use a no-IFA config so the crash leaves state unrecovered: we crash a
+  // node *without* running recovery by driving the machine directly.
+  DatabaseConfig cfg;
+  cfg.machine.num_nodes = 4;
+  cfg.recovery = RecoveryConfig::VolatileSelectiveRedo();
+  Database db(cfg);
+  auto table = db.CreateTable(8);
+  ASSERT_TRUE(table.ok());
+  Transaction* t = db.txn().Begin(1);
+  ASSERT_TRUE(db.txn().Update(t, (*table)[0],
+                              std::vector<uint8_t>(22, 9)).ok());
+  // Crash node 1 at the machine level only (no recovery): its unforced
+  // update record is gone. The flush must fail — either because the WAL
+  // gate cannot be satisfied or because the page's current contents are no
+  // longer reachable (the sole copy died with the node). Either way,
+  // unrecoverable uncommitted state never reaches the stable database.
+  db.machine().CrashNode(1);
+  Status s = db.buffers().FlushPage(0, (*table)[0].page);
+  EXPECT_FALSE(s.ok()) << s.ToString();
+  EXPECT_TRUE(s.IsNodeFailed() || s.IsLineLost()) << s.ToString();
+}
+
+// Checkpoints bound the replay: records before the checkpoint are not
+// re-applied (their effects are in the stable database).
+TEST(RecoveryEdgeTest, CheckpointBoundsReplay) {
+  Fx fx(RecoveryConfig::VolatileRedoAll());
+  // 10 committed updates, then a checkpoint, then 2 more.
+  for (int i = 0; i < 10; ++i) {
+    Transaction* t = fx.db.txn().Begin(1);
+    ASSERT_TRUE(fx.db.txn().Update(t, fx.table[i], Value(uint8_t(i))).ok());
+    ASSERT_TRUE(fx.db.txn().Commit(t).ok());
+  }
+  ASSERT_TRUE(fx.db.Checkpoint(0).ok());
+  for (int i = 10; i < 12; ++i) {
+    Transaction* t = fx.db.txn().Begin(1);
+    ASSERT_TRUE(fx.db.txn().Update(t, fx.table[i], Value(uint8_t(i))).ok());
+    ASSERT_TRUE(fx.db.txn().Commit(t).ok());
+  }
+  auto outcome = fx.db.Crash({3});
+  ASSERT_TRUE(outcome.ok());
+  // Only the two post-checkpoint updates were candidates for redo.
+  EXPECT_LE(outcome->redo_applied + outcome->redo_skipped, 8u)
+      << outcome->ToString();
+  EXPECT_TRUE(fx.checker.VerifyAll().ok());
+}
+
+// A transaction deleting its *own* uncommitted insert leaves nothing for
+// annulment to resurrect (regression: unmarking such a tombstone would
+// re-create a never-committed entry).
+TEST(RecoveryEdgeTest, DeleteOfOwnInsertAnnulsToNothing) {
+  for (auto rc : {RecoveryConfig::VolatileSelectiveRedo(),
+                  RecoveryConfig::VolatileRedoAll()}) {
+    Fx fx(rc);
+    Transaction* t = fx.db.txn().Begin(1);
+    ASSERT_TRUE(fx.db.txn().IndexInsert(t, 77, fx.table[0]).ok());
+    ASSERT_TRUE(fx.db.txn().IndexDelete(t, 77).ok());
+    // Migrate the leaf line to a survivor so the state physically outlives
+    // the crash.
+    Transaction* other = fx.db.txn().Begin(2);
+    ASSERT_TRUE(fx.db.txn().IndexInsert(other, 78, fx.table[1]).ok());
+    auto outcome = fx.db.Crash({1});
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_TRUE(fx.checker.VerifyAll().ok())
+        << rc.Name() << ": " << fx.checker.VerifyAll().ToString();
+    auto l = fx.db.index().Lookup(2, 77);
+    ASSERT_TRUE(l.ok());
+    EXPECT_FALSE(l->has_value()) << rc.Name() << ": resurrected own insert";
+    ASSERT_TRUE(fx.db.txn().Commit(other).ok());
+  }
+}
+
+// A transaction deleting a committed key and re-inserting it must not
+// destroy the committed before-image: annulment restores the original
+// entry (regression: tombstone-slot reuse overwrote the committed rid).
+TEST(RecoveryEdgeTest, ReinsertAfterDeleteAnnulsToCommitted) {
+  for (auto rc : {RecoveryConfig::VolatileSelectiveRedo(),
+                  RecoveryConfig::VolatileRedoAll()}) {
+    Fx fx(rc);
+    Transaction* setup = fx.db.txn().Begin(3);
+    ASSERT_TRUE(fx.db.txn().IndexInsert(setup, 55, fx.table[4]).ok());
+    ASSERT_TRUE(fx.db.txn().Commit(setup).ok());
+
+    Transaction* t = fx.db.txn().Begin(1);
+    ASSERT_TRUE(fx.db.txn().IndexDelete(t, 55).ok());
+    ASSERT_TRUE(fx.db.txn().IndexInsert(t, 55, fx.table[9]).ok());
+    auto before = fx.db.index().Lookup(1, 55);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(before->has_value());
+    EXPECT_EQ(**before, fx.table[9]);
+
+    auto outcome = fx.db.Crash({1});
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_TRUE(fx.checker.VerifyAll().ok())
+        << rc.Name() << ": " << fx.checker.VerifyAll().ToString();
+    auto l = fx.db.index().Lookup(2, 55);
+    ASSERT_TRUE(l.ok());
+    ASSERT_TRUE(l->has_value()) << rc.Name() << ": committed entry lost";
+    EXPECT_EQ(**l, fx.table[4]) << rc.Name() << ": wrong rid restored";
+  }
+}
+
+// The same pattern rolled back voluntarily (no crash) must also restore
+// the committed entry.
+TEST(RecoveryEdgeTest, ReinsertAfterDeleteVoluntaryAbort) {
+  Fx fx(RecoveryConfig::VolatileSelectiveRedo());
+  Transaction* setup = fx.db.txn().Begin(3);
+  ASSERT_TRUE(fx.db.txn().IndexInsert(setup, 55, fx.table[4]).ok());
+  ASSERT_TRUE(fx.db.txn().Commit(setup).ok());
+  Transaction* t = fx.db.txn().Begin(1);
+  ASSERT_TRUE(fx.db.txn().IndexDelete(t, 55).ok());
+  ASSERT_TRUE(fx.db.txn().IndexInsert(t, 55, fx.table[9]).ok());
+  ASSERT_TRUE(fx.db.txn().Abort(t).ok());
+  EXPECT_TRUE(fx.checker.VerifyAll().ok())
+      << fx.checker.VerifyAll().ToString();
+  auto l = fx.db.index().Lookup(2, 55);
+  ASSERT_TRUE(l.ok());
+  ASSERT_TRUE(l->has_value());
+  EXPECT_EQ(**l, fx.table[4]);
+}
+
+// And the commit of the pattern keeps the new entry (purging the residual
+// committed tombstone lazily).
+TEST(RecoveryEdgeTest, ReinsertAfterDeleteCommit) {
+  Fx fx(RecoveryConfig::VolatileSelectiveRedo());
+  Transaction* setup = fx.db.txn().Begin(3);
+  ASSERT_TRUE(fx.db.txn().IndexInsert(setup, 55, fx.table[4]).ok());
+  ASSERT_TRUE(fx.db.txn().Commit(setup).ok());
+  Transaction* t = fx.db.txn().Begin(1);
+  ASSERT_TRUE(fx.db.txn().IndexDelete(t, 55).ok());
+  ASSERT_TRUE(fx.db.txn().IndexInsert(t, 55, fx.table[9]).ok());
+  ASSERT_TRUE(fx.db.txn().Commit(t).ok());
+  EXPECT_TRUE(fx.checker.VerifyAll().ok())
+      << fx.checker.VerifyAll().ToString();
+  auto l = fx.db.index().Lookup(2, 55);
+  ASSERT_TRUE(l.ok());
+  ASSERT_TRUE(l->has_value());
+  EXPECT_EQ(**l, fx.table[9]);
+}
+
+// Crashing every node but one still recovers (the most asymmetric case).
+TEST(RecoveryEdgeTest, AllButOneCrash) {
+  Fx fx(RecoveryConfig::VolatileSelectiveRedo(), 4);
+  std::vector<Transaction*> txns;
+  for (NodeId n = 0; n < 4; ++n) {
+    Transaction* t = fx.db.txn().Begin(n);
+    EXPECT_TRUE(fx.db.txn().Update(t, fx.table[n], Value(uint8_t(n + 1))).ok());
+    txns.push_back(t);
+  }
+  auto outcome = fx.db.Crash({0, 1, 2});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->annulled.size(), 3u);
+  EXPECT_EQ(outcome->preserved.size(), 1u);
+  EXPECT_TRUE(fx.checker.VerifyAll().ok())
+      << fx.checker.VerifyAll().ToString();
+  EXPECT_TRUE(fx.db.txn().Commit(txns[3]).ok());
+}
+
+// Recovery with zero active transactions is a no-op that stays consistent.
+TEST(RecoveryEdgeTest, QuiescentCrash) {
+  for (auto rc : {RecoveryConfig::VolatileSelectiveRedo(),
+                  RecoveryConfig::VolatileRedoAll(),
+                  RecoveryConfig::BaselineRebootAll()}) {
+    Fx fx(rc);
+    Transaction* t = fx.db.txn().Begin(0);
+    ASSERT_TRUE(fx.db.txn().Update(t, fx.table[0], Value(7)).ok());
+    ASSERT_TRUE(fx.db.txn().Commit(t).ok());
+    auto outcome = fx.db.Crash({0});
+    ASSERT_TRUE(outcome.ok()) << rc.Name();
+    EXPECT_TRUE(outcome->annulled.empty());
+    EXPECT_TRUE(fx.checker.VerifyAll().ok()) << rc.Name();
+    auto slot = fx.db.records().SnoopSlot(fx.table[0]);
+    ASSERT_TRUE(slot.ok());
+    EXPECT_EQ(slot->data, Value(7)) << rc.Name();
+  }
+}
+
+// Restarted nodes rejoin cold and can run transactions again.
+TEST(RecoveryEdgeTest, RestartedNodeWorks) {
+  Fx fx(RecoveryConfig::VolatileSelectiveRedo());
+  Transaction* t = fx.db.txn().Begin(2);
+  ASSERT_TRUE(fx.db.txn().Update(t, fx.table[0], Value(1)).ok());
+  auto outcome = fx.db.Crash({2});
+  ASSERT_TRUE(outcome.ok());
+  fx.db.RestartNodes({2});
+  ASSERT_TRUE(fx.db.machine().NodeAlive(2));
+  Transaction* t2 = fx.db.txn().Begin(2);
+  ASSERT_TRUE(fx.db.txn().Update(t2, fx.table[1], Value(2)).ok());
+  ASSERT_TRUE(fx.db.txn().Commit(t2).ok());
+  EXPECT_TRUE(fx.checker.VerifyAll().ok());
+}
+
+// A second crash during the window between recovery and the next
+// checkpoint must still recover (CLRs are redo-only and never undone).
+TEST(RecoveryEdgeTest, BackToBackCrashes) {
+  Fx fx(RecoveryConfig::VolatileSelectiveRedo(), 6);
+  Transaction* t0 = fx.db.txn().Begin(0);
+  Transaction* t1 = fx.db.txn().Begin(1);
+  ASSERT_TRUE(fx.db.txn().Update(t0, fx.table[0], Value(0xA0)).ok());
+  ASSERT_TRUE(fx.db.txn().Update(t1, fx.table[1], Value(0xB0)).ok());
+  ASSERT_TRUE(fx.db.Crash({0}).ok());
+  EXPECT_TRUE(fx.checker.VerifyAll().ok());
+  // Immediately crash another node, then the node that performed much of
+  // the first recovery.
+  ASSERT_TRUE(fx.db.Crash({1}).ok());
+  EXPECT_TRUE(fx.checker.VerifyAll().ok());
+  ASSERT_TRUE(fx.db.Crash({2}).ok());
+  EXPECT_TRUE(fx.checker.VerifyAll().ok())
+      << fx.checker.VerifyAll().ToString();
+}
+
+}  // namespace
+}  // namespace smdb

@@ -1,0 +1,269 @@
+// Unit tests for the WAL layer: per-node logs with volatile tails, forces,
+// crash destruction, checkpoints, and the log record taxonomy.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/ifa_checker.h"
+#include "core/recovery_manager.h"
+#include "wal/checkpoint.h"
+
+namespace smdb {
+namespace {
+
+struct WalFixture {
+  WalFixture() : machine(MakeCfg()), stable(4), log(&machine, &stable) {}
+  static MachineConfig MakeCfg() {
+    MachineConfig c;
+    c.num_nodes = 4;
+    return c;
+  }
+  LogRecord Update(TxnId txn, RecordId rid, uint64_t usn) {
+    LogRecord rec;
+    rec.type = LogRecordType::kUpdate;
+    rec.txn = txn;
+    UpdatePayload u;
+    u.rid = rid;
+    u.usn = usn;
+    u.before.assign(4, 0);
+    u.after.assign(4, 1);
+    rec.payload = std::move(u);
+    return rec;
+  }
+  Machine machine;
+  StableLogStore stable;
+  LogManager log;
+};
+
+TEST(LogManagerTest, AppendAssignsMonotonicLsns) {
+  WalFixture f;
+  TxnId t = MakeTxnId(0, 1);
+  EXPECT_EQ(f.log.Append(0, f.Update(t, {1, 0}, 1)), 1u);
+  EXPECT_EQ(f.log.Append(0, f.Update(t, {1, 1}, 2)), 2u);
+  EXPECT_EQ(f.log.Append(1, f.Update(t, {1, 2}, 3)), 1u);  // per-node LSNs
+  EXPECT_EQ(f.log.TailSize(0), 2u);
+  EXPECT_EQ(f.log.stable_lsn(0), kInvalidLsn);
+}
+
+TEST(LogManagerTest, ForceMovesTailToStable) {
+  WalFixture f;
+  TxnId t = MakeTxnId(0, 1);
+  f.log.Append(0, f.Update(t, {1, 0}, 1));
+  f.log.Append(0, f.Update(t, {1, 1}, 2));
+  ASSERT_TRUE(f.log.Force(0, 0).ok());
+  EXPECT_EQ(f.log.TailSize(0), 0u);
+  EXPECT_EQ(f.log.stable_lsn(0), 2u);
+  EXPECT_TRUE(f.log.IsStable(0, 2));
+  EXPECT_FALSE(f.log.IsStable(0, 3));
+  EXPECT_EQ(f.stable.Records(0).size(), 2u);
+}
+
+TEST(LogManagerTest, ForceChargesRequestor) {
+  WalFixture f;
+  f.log.Append(2, f.Update(MakeTxnId(2, 1), {1, 0}, 1));
+  SimTime t0 = f.machine.NodeClock(0);
+  ASSERT_TRUE(f.log.Force(0, 2).ok());
+  EXPECT_EQ(f.machine.NodeClock(0),
+            t0 + f.machine.config().timing.log_force_ns);
+}
+
+TEST(LogManagerTest, NvramForceIsCheap) {
+  MachineConfig c;
+  c.num_nodes = 2;
+  c.nvram_log = true;
+  Machine m(c);
+  StableLogStore stable(2);
+  LogManager log(&m, &stable);
+  SimTime t0 = m.NodeClock(0);
+  ASSERT_TRUE(log.Force(0, 0).ok());
+  EXPECT_EQ(m.NodeClock(0), t0 + c.timing.nvram_force_ns);
+}
+
+TEST(LogManagerTest, CrashDestroysVolatileTailOnly) {
+  WalFixture f;
+  TxnId t = MakeTxnId(1, 1);
+  f.log.Append(1, f.Update(t, {1, 0}, 1));
+  ASSERT_TRUE(f.log.Force(1, 1).ok());
+  f.log.Append(1, f.Update(t, {1, 1}, 2));
+  f.log.OnNodeCrash(1);
+  EXPECT_EQ(f.log.TailSize(1), 0u);
+  EXPECT_EQ(f.log.stable_lsn(1), 1u);  // durable prefix survives
+  int stable_count = 0;
+  f.log.ForEachStable(1, [&](const LogRecord&) { ++stable_count; });
+  EXPECT_EQ(stable_count, 1);
+}
+
+TEST(LogManagerTest, CannotForceCrashedNodesLog) {
+  WalFixture f;
+  f.machine.CrashNode(2);
+  EXPECT_TRUE(f.log.Force(0, 2).IsNodeFailed());
+}
+
+TEST(LogManagerTest, ForceHooksFire) {
+  WalFixture f;
+  NodeId forced = kInvalidNode;
+  f.log.AddForceHook([&](NodeId n) { forced = n; });
+  ASSERT_TRUE(f.log.Force(0, 3).ok());
+  EXPECT_EQ(forced, 3);
+}
+
+TEST(LogManagerTest, ForEachAllCoversStableAndVolatile) {
+  WalFixture f;
+  TxnId t = MakeTxnId(0, 1);
+  f.log.Append(0, f.Update(t, {1, 0}, 1));
+  ASSERT_TRUE(f.log.Force(0, 0).ok());
+  f.log.Append(0, f.Update(t, {1, 1}, 2));
+  std::vector<Lsn> seen;
+  f.log.ForEachAll(0, [&](const LogRecord& r) { seen.push_back(r.lsn); });
+  EXPECT_EQ(seen, (std::vector<Lsn>{1, 2}));
+}
+
+TEST(LogRecordTest, ToStringVariants) {
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn = MakeTxnId(2, 9);
+  rec.node = 2;
+  rec.lsn = 4;
+  UpdatePayload u;
+  u.rid = {3, 7};
+  u.usn = 12;
+  u.is_clr = true;
+  rec.payload = std::move(u);
+  std::string s = rec.ToString();
+  EXPECT_NE(s.find("UPDATE"), std::string::npos);
+  EXPECT_NE(s.find("CLR"), std::string::npos);
+  EXPECT_NE(s.find("p3.s7"), std::string::npos);
+
+  LogRecord lk;
+  lk.type = LogRecordType::kLockOp;
+  lk.txn = MakeTxnId(0, 1);
+  lk.payload = LockOpPayload{42, LockMode::kShared, LockOpPayload::Op::kQueue};
+  EXPECT_NE(lk.ToString().find("LOCKOP"), std::string::npos);
+}
+
+TEST(LockModeTest, CompatibilityMatrix) {
+  EXPECT_TRUE(Compatible(LockMode::kNone, LockMode::kExclusive));
+  EXPECT_TRUE(Compatible(LockMode::kShared, LockMode::kShared));
+  EXPECT_FALSE(Compatible(LockMode::kShared, LockMode::kExclusive));
+  EXPECT_FALSE(Compatible(LockMode::kExclusive, LockMode::kShared));
+  EXPECT_FALSE(Compatible(LockMode::kExclusive, LockMode::kExclusive));
+}
+
+TEST(CheckpointTest, AdvancesReplayStartAndFlushes) {
+  DatabaseConfig c;
+  c.machine.num_nodes = 3;
+  Database db(c);
+  auto table = db.CreateTable(8);
+  ASSERT_TRUE(table.ok());
+
+  Transaction* t = db.txn().Begin(1);
+  ASSERT_TRUE(db.txn().Update(t, (*table)[0],
+                              std::vector<uint8_t>(22, 3)).ok());
+  ASSERT_TRUE(db.txn().Commit(t).ok());
+  EXPECT_TRUE(db.buffers().IsDirty((*table)[0].page));  // no-force!
+
+  ASSERT_TRUE(db.Checkpoint(0).ok());
+  EXPECT_FALSE(db.buffers().IsDirty((*table)[0].page));
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_NE(db.log().checkpoint_lsn(n), kInvalidLsn);
+    EXPECT_EQ(db.log().TailSize(n), 0u);
+  }
+  // The stable database now reflects the committed update.
+  std::vector<uint8_t> img;
+  ASSERT_TRUE(db.buffers().ReadStableImage(0, (*table)[0].page, &img).ok());
+  EXPECT_EQ(db.records().DecodeStableSlot(img, 0).data,
+            std::vector<uint8_t>(22, 3));
+}
+
+TEST(LogTruncationTest, DropsPrefixKeepsLsnNumbering) {
+  WalFixture f;
+  TxnId t = MakeTxnId(0, 1);
+  for (int i = 0; i < 5; ++i) {
+    f.log.Append(0, f.Update(t, {1, uint16_t(i)}, i + 1));
+  }
+  ASSERT_TRUE(f.log.Force(0, 0).ok());
+  EXPECT_EQ(f.log.TruncateThrough(0, 3), 3u);
+  std::vector<Lsn> kept;
+  f.log.ForEachStable(0, [&](const LogRecord& r) { kept.push_back(r.lsn); });
+  EXPECT_EQ(kept, (std::vector<Lsn>{4, 5}));
+  // Appends continue with the old numbering.
+  EXPECT_EQ(f.log.Append(0, f.Update(t, {1, 9}, 9)), 6u);
+}
+
+TEST(LogTruncationTest, CheckpointTruncatesBehindOldestActive) {
+  DatabaseConfig c;
+  c.machine.num_nodes = 2;
+  Database db(c);
+  auto table = db.CreateTable(8);
+  ASSERT_TRUE(table.ok());
+
+  // A long-running transaction pins the truncation point.
+  Transaction* old_txn = db.txn().Begin(0);
+  ASSERT_TRUE(db.txn().Update(old_txn, (*table)[0],
+                              std::vector<uint8_t>(22, 1)).ok());
+  for (int i = 0; i < 5; ++i) {
+    Transaction* t = db.txn().Begin(0);
+    ASSERT_TRUE(db.txn().Update(t, (*table)[1 + i],
+                                std::vector<uint8_t>(22, 2)).ok());
+    ASSERT_TRUE(db.txn().Commit(t).ok());
+  }
+  ASSERT_TRUE(db.Checkpoint(0).ok());
+  // old_txn's records (its Begin onward) must survive the truncation so a
+  // voluntary abort still works.
+  ASSERT_TRUE(db.txn().Abort(old_txn).ok());
+  auto slot = db.records().SnoopSlot((*table)[0]);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(slot->data, std::vector<uint8_t>(22, 0));
+
+  // Without active transactions the checkpoint reclaims the whole prefix.
+  uint64_t before = db.log().stats().truncated_records;
+  ASSERT_TRUE(db.Checkpoint(0).ok());
+  EXPECT_GT(db.log().stats().truncated_records, before);
+}
+
+TEST(LogTruncationTest, RecoveryWorksAfterTruncation) {
+  DatabaseConfig c;
+  c.machine.num_nodes = 4;
+  c.recovery = RecoveryConfig::VolatileSelectiveRedo();
+  Database db(c);
+  IfaChecker checker(&db);
+  db.txn().AddObserver(&checker);
+  auto table = db.CreateTable(16);
+  ASSERT_TRUE(table.ok());
+  checker.RegisterTable(*table);
+  // Several generations of work + checkpoints (each truncates), then a
+  // crash with in-flight work.
+  for (int gen = 0; gen < 3; ++gen) {
+    for (int i = 0; i < 4; ++i) {
+      Transaction* t = db.txn().Begin(static_cast<NodeId>(i));
+      ASSERT_TRUE(db.txn()
+                      .Update(t, (*table)[gen * 4 + i],
+                              std::vector<uint8_t>(22, uint8_t(gen + 1)))
+                      .ok());
+      ASSERT_TRUE(db.txn().Commit(t).ok());
+    }
+    ASSERT_TRUE(db.Checkpoint(0).ok());
+  }
+  EXPECT_GT(db.log().stats().truncated_records, 0u);
+  Transaction* active = db.txn().Begin(1);
+  ASSERT_TRUE(db.txn()
+                  .Update(active, (*table)[15], std::vector<uint8_t>(22, 9))
+                  .ok());
+  auto outcome = db.Crash({1});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(checker.VerifyAll().ok()) << checker.VerifyAll().ToString();
+}
+
+TEST(StableLogStoreTest, PerNodeStreams) {
+  StableLogStore s(3);
+  LogRecord r;
+  r.lsn = 1;
+  s.Append(1, {r});
+  EXPECT_EQ(s.Records(0).size(), 0u);
+  EXPECT_EQ(s.Records(1).size(), 1u);
+  EXPECT_EQ(s.LastLsn(1), 1u);
+  EXPECT_EQ(s.LastLsn(2), kInvalidLsn);
+}
+
+}  // namespace
+}  // namespace smdb

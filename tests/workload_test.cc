@@ -1,0 +1,183 @@
+// Tests for the workload generator and the harness plumbing.
+
+#include <gtest/gtest.h>
+
+#include "workload/harness.h"
+
+namespace smdb {
+namespace {
+
+std::vector<RecordId> FakeTable(size_t n) {
+  std::vector<RecordId> t;
+  for (size_t i = 0; i < n; ++i) {
+    t.push_back(RecordId{PageId(2 + i / 124), uint16_t(i % 124)});
+  }
+  return t;
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  WorkloadSpec spec;
+  spec.txns_per_node = 5;
+  spec.ops_per_txn = 4;
+  spec.seed = 99;
+  auto table = FakeTable(64);
+  WorkloadGenerator g1(spec, table, 4, 22);
+  WorkloadGenerator g2(spec, table, 4, 22);
+  auto a = g1.Generate();
+  auto b = g2.Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t n = 0; n < a.size(); ++n) {
+    ASSERT_EQ(a[n].size(), b[n].size());
+    for (size_t t = 0; t < a[n].size(); ++t) {
+      ASSERT_EQ(a[n][t].ops.size(), b[n][t].ops.size());
+      for (size_t o = 0; o < a[n][t].ops.size(); ++o) {
+        EXPECT_EQ(a[n][t].ops[o].kind, b[n][t].ops[o].kind);
+        EXPECT_EQ(a[n][t].ops[o].rid, b[n][t].ops[o].rid);
+        EXPECT_EQ(a[n][t].ops[o].key, b[n][t].ops[o].key);
+        EXPECT_EQ(a[n][t].ops[o].value, b[n][t].ops[o].value);
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, ShapeMatchesSpec) {
+  WorkloadSpec spec;
+  spec.txns_per_node = 7;
+  spec.ops_per_txn = 5;
+  spec.write_ratio = 1.0;
+  spec.index_op_ratio = 0.0;
+  spec.dirty_read_ratio = 0.0;
+  spec.voluntary_abort_ratio = 0.0;
+  WorkloadGenerator gen(spec, FakeTable(32), 3, 22);
+  auto scripts = gen.Generate();
+  ASSERT_EQ(scripts.size(), 3u);
+  for (const auto& node_scripts : scripts) {
+    ASSERT_EQ(node_scripts.size(), 7u);
+    for (const auto& s : node_scripts) {
+      ASSERT_EQ(s.ops.size(), 6u);  // 5 ops + commit
+      for (size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(s.ops[i].kind, Op::Kind::kUpdate);
+        EXPECT_EQ(s.ops[i].value.size(), 22u);
+      }
+      EXPECT_EQ(s.ops.back().kind, Op::Kind::kCommit);
+    }
+  }
+}
+
+TEST(WorkloadTest, VoluntaryAbortRatio) {
+  WorkloadSpec spec;
+  spec.txns_per_node = 200;
+  spec.ops_per_txn = 1;
+  spec.voluntary_abort_ratio = 0.5;
+  WorkloadGenerator gen(spec, FakeTable(8), 1, 22);
+  auto scripts = gen.Generate();
+  int aborts = 0;
+  for (const auto& s : scripts[0]) {
+    if (s.ops.back().kind == Op::Kind::kAbort) ++aborts;
+  }
+  EXPECT_GT(aborts, 60);
+  EXPECT_LT(aborts, 140);
+}
+
+TEST(WorkloadTest, PartitionedPicksStayInPartition) {
+  WorkloadSpec spec;
+  spec.txns_per_node = 20;
+  spec.ops_per_txn = 8;
+  spec.write_ratio = 1.0;
+  spec.shared_fraction = 0.0;  // fully partitioned
+  auto table = FakeTable(40);  // 10 records per node
+  WorkloadGenerator gen(spec, table, 4, 22);
+  auto scripts = gen.Generate();
+  for (NodeId n = 0; n < 4; ++n) {
+    for (const auto& s : scripts[n]) {
+      for (const auto& op : s.ops) {
+        if (op.kind != Op::Kind::kUpdate) continue;
+        // Record must come from node n's slice [10n, 10n+10).
+        size_t idx = 0;
+        for (; idx < table.size(); ++idx) {
+          if (table[idx] == op.rid) break;
+        }
+        EXPECT_GE(idx, size_t(n) * 10);
+        EXPECT_LT(idx, size_t(n + 1) * 10);
+      }
+    }
+  }
+}
+
+TEST(HarnessTest, ReportAccounting) {
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = 3;
+  cfg.db.recovery = RecoveryConfig::VolatileSelectiveRedo();
+  cfg.num_records = 48;
+  cfg.workload.txns_per_node = 6;
+  cfg.workload.ops_per_txn = 4;
+  cfg.workload.seed = 5;
+  Harness h(cfg);
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->verify_status.ok());
+  EXPECT_EQ(r->exec.committed + r->exec.aborted_other, 18u);
+  EXPECT_GT(r->steps, 18u * 4u);
+  EXPECT_GT(r->total_time_ns, 0u);
+  EXPECT_GT(r->throughput_tps(), 0.0);
+  EXPECT_EQ(r->recoveries.size(), 0u);
+  EXPECT_EQ(r->unnecessary_aborts(), 0u);
+}
+
+TEST(HarnessTest, CrashPlanSkipsDeadNodes) {
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = 3;
+  cfg.db.recovery = RecoveryConfig::VolatileSelectiveRedo();
+  cfg.num_records = 48;
+  cfg.workload.txns_per_node = 20;
+  cfg.workload.seed = 6;
+  // Crash node 1 twice without restarting: second plan is a no-op.
+  cfg.crashes = {CrashPlan{20, {1}, false}, CrashPlan{60, {1}, false}};
+  Harness h(cfg);
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->verify_status.ok()) << r->verify_status.ToString();
+  EXPECT_EQ(r->recoveries.size(), 1u);
+}
+
+// Regression: extreme hot-spot contention overflowing LCB waiter lists
+// must degrade gracefully (retry) rather than livelock the executors.
+TEST(HarnessTest, HotspotContentionTerminates) {
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = 16;
+  cfg.db.recovery = RecoveryConfig::VolatileSelectiveRedo();
+  cfg.num_records = 512;
+  cfg.workload.txns_per_node = 8;
+  cfg.workload.ops_per_txn = 6;
+  cfg.workload.write_ratio = 0.6;
+  cfg.workload.zipf_theta = 0.9;  // few records take all the traffic
+  cfg.workload.seed = 20260704;
+  cfg.seed = 1337;
+  cfg.max_steps = 300000;
+  Harness h(cfg);
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->verify_status.ok()) << r->verify_status.ToString();
+  EXPECT_LT(r->steps, cfg.max_steps) << "executors did not quiesce";
+  EXPECT_GT(r->exec.committed, 0u);
+}
+
+TEST(HarnessTest, StealAndCheckpointKeepConsistency) {
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = 4;
+  cfg.db.recovery = RecoveryConfig::VolatileRedoAll();
+  cfg.num_records = 64;
+  cfg.workload.txns_per_node = 20;
+  cfg.workload.seed = 8;
+  cfg.steal_flush_prob = 0.2;  // aggressive stealing
+  cfg.checkpoint_every_steps = 50;
+  cfg.crashes = {CrashPlan{120, {2}, false}};
+  Harness h(cfg);
+  auto r = h.Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->verify_status.ok()) << r->verify_status.ToString();
+  EXPECT_GT(h.db().buffers().steal_flushes(), 0u);
+}
+
+}  // namespace
+}  // namespace smdb

@@ -1,0 +1,208 @@
+// smdb_run — command-line experiment runner: assemble any workload/crash
+// configuration from flags, run it on the simulator, and print the report.
+//
+// Examples:
+//   smdb_run --nodes=8 --protocol=volatile-selective --txns=50
+//   smdb_run --nodes=16 --protocol=reboot-all --crash=200:3 --crash=500:7
+//   smdb_run --nodes=8 --coherence=broadcast --zipf=0.9 --write-ratio=0.8
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/harness.h"
+
+namespace smdb {
+namespace {
+
+struct Flags {
+  HarnessConfig cfg;
+  bool verbose = false;
+};
+
+bool ParseProtocol(const std::string& v, RecoveryConfig* out) {
+  if (v == "volatile-selective") {
+    *out = RecoveryConfig::VolatileSelectiveRedo();
+  } else if (v == "volatile-redoall") {
+    *out = RecoveryConfig::VolatileRedoAll();
+  } else if (v == "stable-eager") {
+    *out = RecoveryConfig::StableEagerRedoAll();
+  } else if (v == "stable-triggered") {
+    *out = RecoveryConfig::StableTriggeredRedoAll();
+  } else if (v == "stable-triggered-selective") {
+    *out = RecoveryConfig::StableTriggeredSelectiveRedo();
+  } else if (v == "reboot-all") {
+    *out = RecoveryConfig::BaselineRebootAll();
+  } else if (v == "abort-dependents") {
+    *out = RecoveryConfig::BaselineAbortDependents();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void Usage() {
+  std::printf(
+      "usage: smdb_run [flags]\n"
+      "  --nodes=N                machine size (default 8, max 64)\n"
+      "  --protocol=P             volatile-selective | volatile-redoall |\n"
+      "                           stable-eager | stable-triggered |\n"
+      "                           stable-triggered-selective | reboot-all |\n"
+      "                           abort-dependents\n"
+      "  --coherence=K            invalidate (default) | broadcast\n"
+      "  --records=N              heap table size (default 256)\n"
+      "  --record-bytes=N         record payload size (default 22)\n"
+      "  --txns=N                 transactions per node (default 25)\n"
+      "  --ops=N                  operations per transaction (default 8)\n"
+      "  --write-ratio=F          update fraction of record ops (default .5)\n"
+      "  --index-ratio=F          index-op fraction (default 0)\n"
+      "  --dirty-read-ratio=F     browse-mode read fraction (default 0)\n"
+      "  --zipf=F                 record skew theta (default 0)\n"
+      "  --shared=F               shared (vs partitioned) fraction "
+      "(default 1)\n"
+      "  --abort-ratio=F          voluntary abort fraction (default 0)\n"
+      "  --crash=STEP:NODE[:r]    inject a crash (repeatable; ':r' "
+      "restarts)\n"
+      "  --steal=F                per-step steal flush probability\n"
+      "  --checkpoint-every=N     steps between checkpoints (default 0)\n"
+      "  --nvram                  NVRAM log device (cheap forces)\n"
+      "  --two-line-lcb           split LCBs over two cache lines\n"
+      "  --seed=N                 workload seed (default 42)\n"
+      "  --verbose                dump per-subsystem statistics\n");
+}
+
+bool ParseFlag(Flags& f, const std::string& arg) {
+  auto eq = arg.find('=');
+  std::string key = arg.substr(0, eq);
+  std::string val = eq == std::string::npos ? "" : arg.substr(eq + 1);
+  HarnessConfig& cfg = f.cfg;
+  if (key == "--nodes") {
+    cfg.db.machine.num_nodes = static_cast<uint16_t>(std::stoul(val));
+  } else if (key == "--protocol") {
+    if (!ParseProtocol(val, &cfg.db.recovery)) return false;
+  } else if (key == "--coherence") {
+    if (val == "broadcast") {
+      cfg.db.machine.coherence = CoherenceKind::kWriteBroadcast;
+    } else if (val != "invalidate") {
+      return false;
+    }
+  } else if (key == "--records") {
+    cfg.num_records = std::stoul(val);
+  } else if (key == "--record-bytes") {
+    cfg.db.record_data_size = static_cast<uint16_t>(std::stoul(val));
+  } else if (key == "--txns") {
+    cfg.workload.txns_per_node = std::stoul(val);
+  } else if (key == "--ops") {
+    cfg.workload.ops_per_txn = std::stoul(val);
+  } else if (key == "--write-ratio") {
+    cfg.workload.write_ratio = std::stod(val);
+  } else if (key == "--index-ratio") {
+    cfg.workload.index_op_ratio = std::stod(val);
+  } else if (key == "--dirty-read-ratio") {
+    cfg.workload.dirty_read_ratio = std::stod(val);
+  } else if (key == "--zipf") {
+    cfg.workload.zipf_theta = std::stod(val);
+  } else if (key == "--shared") {
+    cfg.workload.shared_fraction = std::stod(val);
+  } else if (key == "--abort-ratio") {
+    cfg.workload.voluntary_abort_ratio = std::stod(val);
+  } else if (key == "--crash") {
+    CrashPlan plan;
+    size_t colon = val.find(':');
+    if (colon == std::string::npos) return false;
+    plan.at_step = std::stoull(val.substr(0, colon));
+    std::string rest = val.substr(colon + 1);
+    size_t colon2 = rest.find(':');
+    plan.nodes = {static_cast<NodeId>(std::stoul(rest.substr(0, colon2)))};
+    plan.restart_after =
+        colon2 != std::string::npos && rest.substr(colon2 + 1) == "r";
+    cfg.crashes.push_back(plan);
+  } else if (key == "--steal") {
+    cfg.steal_flush_prob = std::stod(val);
+  } else if (key == "--checkpoint-every") {
+    cfg.checkpoint_every_steps = std::stoull(val);
+  } else if (key == "--nvram") {
+    cfg.db.machine.nvram_log = true;
+  } else if (key == "--two-line-lcb") {
+    cfg.db.lock_table.two_line_lcb = true;
+  } else if (key == "--seed") {
+    cfg.workload.seed = std::stoull(val);
+    cfg.seed = cfg.workload.seed ^ 0xBEEF;
+  } else if (key == "--verbose") {
+    f.verbose = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int Run(const Flags& flags) {
+  Harness h(flags.cfg);
+  auto report = h.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  const HarnessReport& r = *report;
+  std::printf("protocol            %s\n",
+              flags.cfg.db.recovery.Name().c_str());
+  std::printf("committed           %llu\n",
+              static_cast<unsigned long long>(r.exec.committed));
+  std::printf("aborted (deadlock)  %llu\n",
+              static_cast<unsigned long long>(r.exec.aborted_deadlock));
+  std::printf("aborted (other)     %llu\n",
+              static_cast<unsigned long long>(r.exec.aborted_other));
+  std::printf("sim time            %.3f ms\n", r.total_time_ns / 1e6);
+  std::printf("throughput          %.1f txn/sim-s\n", r.throughput_tps());
+  std::printf("log forces          %llu (LBM: %llu)\n",
+              static_cast<unsigned long long>(r.logs.forces),
+              static_cast<unsigned long long>(r.logs.lbm_forces));
+  std::printf("migrations          %llu\n",
+              static_cast<unsigned long long>(r.machine.migrations));
+  std::printf("replications        %llu\n",
+              static_cast<unsigned long long>(r.machine.replications));
+  for (size_t i = 0; i < r.recoveries.size(); ++i) {
+    std::printf("recovery[%zu]         %s\n", i,
+                r.recoveries[i].ToString().c_str());
+  }
+  std::printf("unnecessary aborts  %llu\n",
+              static_cast<unsigned long long>(r.unnecessary_aborts()));
+  std::printf("IFA verification    %s\n", r.verify_status.ToString().c_str());
+  if (flags.verbose) {
+    std::printf("\nmachine stats:\n%s\n", r.machine.ToString().c_str());
+    std::printf("disk reads/writes   %llu / %llu\n",
+                static_cast<unsigned long long>(r.disk_reads),
+                static_cast<unsigned long long>(r.disk_writes));
+    std::printf("undo tag writes     %llu\n",
+                static_cast<unsigned long long>(r.txns.undo_tag_writes));
+    std::printf("lock log records    %llu\n",
+                static_cast<unsigned long long>(r.locks.lock_log_records));
+    std::printf("btree splits        %llu (early commits %llu)\n",
+                static_cast<unsigned long long>(r.btree.splits),
+                static_cast<unsigned long long>(r.btree.early_commits));
+  }
+  return r.verify_status.ok() ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace smdb
+
+int main(int argc, char** argv) {
+  smdb::Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      smdb::Usage();
+      return 0;
+    }
+    if (!smdb::ParseFlag(flags, arg)) {
+      std::fprintf(stderr, "bad flag: %s\n\n", arg.c_str());
+      smdb::Usage();
+      return 1;
+    }
+  }
+  return smdb::Run(flags);
+}
