@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abort_avoidance.dir/bench_abort_avoidance.cc.o"
+  "CMakeFiles/bench_abort_avoidance.dir/bench_abort_avoidance.cc.o.d"
+  "bench_abort_avoidance"
+  "bench_abort_avoidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abort_avoidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

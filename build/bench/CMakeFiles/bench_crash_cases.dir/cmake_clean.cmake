@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crash_cases.dir/bench_crash_cases.cc.o"
+  "CMakeFiles/bench_crash_cases.dir/bench_crash_cases.cc.o.d"
+  "bench_crash_cases"
+  "bench_crash_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crash_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_histories.dir/bench_histories.cc.o"
+  "CMakeFiles/bench_histories.dir/bench_histories.cc.o.d"
+  "bench_histories"
+  "bench_histories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_histories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linelock.dir/bench_linelock.cc.o"
+  "CMakeFiles/bench_linelock.dir/bench_linelock.cc.o.d"
+  "bench_linelock"
+  "bench_linelock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linelock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

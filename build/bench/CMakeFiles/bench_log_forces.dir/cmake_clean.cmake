@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_log_forces.dir/bench_log_forces.cc.o"
+  "CMakeFiles/bench_log_forces.dir/bench_log_forces.cc.o.d"
+  "bench_log_forces"
+  "bench_log_forces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_log_forces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

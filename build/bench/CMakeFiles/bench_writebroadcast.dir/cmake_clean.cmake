@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_writebroadcast.dir/bench_writebroadcast.cc.o"
+  "CMakeFiles/bench_writebroadcast.dir/bench_writebroadcast.cc.o.d"
+  "bench_writebroadcast"
+  "bench_writebroadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_writebroadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

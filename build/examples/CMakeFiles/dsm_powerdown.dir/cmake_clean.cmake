@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_powerdown.dir/dsm_powerdown.cpp.o"
+  "CMakeFiles/dsm_powerdown.dir/dsm_powerdown.cpp.o.d"
+  "dsm_powerdown"
+  "dsm_powerdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_powerdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

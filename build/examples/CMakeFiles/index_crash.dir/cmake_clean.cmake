@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_crash.dir/index_crash.cpp.o"
+  "CMakeFiles/index_crash.dir/index_crash.cpp.o.d"
+  "index_crash"
+  "index_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_structures.dir/os_structures.cpp.o"
+  "CMakeFiles/os_structures.dir/os_structures.cpp.o.d"
+  "os_structures"
+  "os_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

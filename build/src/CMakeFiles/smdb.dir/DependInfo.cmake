@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cc" "src/CMakeFiles/smdb.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/smdb.dir/btree/btree.cc.o.d"
+  "/root/repo/src/btree/btree_recovery.cc" "src/CMakeFiles/smdb.dir/btree/btree_recovery.cc.o" "gcc" "src/CMakeFiles/smdb.dir/btree/btree_recovery.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/smdb.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/smdb.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/smdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/smdb.dir/common/status.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/smdb.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/smdb.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/smdb.dir/core/database.cc.o" "gcc" "src/CMakeFiles/smdb.dir/core/database.cc.o.d"
+  "/root/repo/src/core/dependency_tracker.cc" "src/CMakeFiles/smdb.dir/core/dependency_tracker.cc.o" "gcc" "src/CMakeFiles/smdb.dir/core/dependency_tracker.cc.o.d"
+  "/root/repo/src/core/ifa_checker.cc" "src/CMakeFiles/smdb.dir/core/ifa_checker.cc.o" "gcc" "src/CMakeFiles/smdb.dir/core/ifa_checker.cc.o.d"
+  "/root/repo/src/core/lbm_policy.cc" "src/CMakeFiles/smdb.dir/core/lbm_policy.cc.o" "gcc" "src/CMakeFiles/smdb.dir/core/lbm_policy.cc.o.d"
+  "/root/repo/src/core/recovery_manager.cc" "src/CMakeFiles/smdb.dir/core/recovery_manager.cc.o" "gcc" "src/CMakeFiles/smdb.dir/core/recovery_manager.cc.o.d"
+  "/root/repo/src/core/redo_all.cc" "src/CMakeFiles/smdb.dir/core/redo_all.cc.o" "gcc" "src/CMakeFiles/smdb.dir/core/redo_all.cc.o.d"
+  "/root/repo/src/core/selective_redo.cc" "src/CMakeFiles/smdb.dir/core/selective_redo.cc.o" "gcc" "src/CMakeFiles/smdb.dir/core/selective_redo.cc.o.d"
+  "/root/repo/src/core/stable_state.cc" "src/CMakeFiles/smdb.dir/core/stable_state.cc.o" "gcc" "src/CMakeFiles/smdb.dir/core/stable_state.cc.o.d"
+  "/root/repo/src/db/buffer_manager.cc" "src/CMakeFiles/smdb.dir/db/buffer_manager.cc.o" "gcc" "src/CMakeFiles/smdb.dir/db/buffer_manager.cc.o.d"
+  "/root/repo/src/db/page_layout.cc" "src/CMakeFiles/smdb.dir/db/page_layout.cc.o" "gcc" "src/CMakeFiles/smdb.dir/db/page_layout.cc.o.d"
+  "/root/repo/src/db/record_store.cc" "src/CMakeFiles/smdb.dir/db/record_store.cc.o" "gcc" "src/CMakeFiles/smdb.dir/db/record_store.cc.o.d"
+  "/root/repo/src/db/wal_table.cc" "src/CMakeFiles/smdb.dir/db/wal_table.cc.o" "gcc" "src/CMakeFiles/smdb.dir/db/wal_table.cc.o.d"
+  "/root/repo/src/hash/hash_index.cc" "src/CMakeFiles/smdb.dir/hash/hash_index.cc.o" "gcc" "src/CMakeFiles/smdb.dir/hash/hash_index.cc.o.d"
+  "/root/repo/src/lockmgr/lcb.cc" "src/CMakeFiles/smdb.dir/lockmgr/lcb.cc.o" "gcc" "src/CMakeFiles/smdb.dir/lockmgr/lcb.cc.o.d"
+  "/root/repo/src/lockmgr/lock_table.cc" "src/CMakeFiles/smdb.dir/lockmgr/lock_table.cc.o" "gcc" "src/CMakeFiles/smdb.dir/lockmgr/lock_table.cc.o.d"
+  "/root/repo/src/os/disk_map.cc" "src/CMakeFiles/smdb.dir/os/disk_map.cc.o" "gcc" "src/CMakeFiles/smdb.dir/os/disk_map.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/CMakeFiles/smdb.dir/sim/cache.cc.o" "gcc" "src/CMakeFiles/smdb.dir/sim/cache.cc.o.d"
+  "/root/repo/src/sim/directory.cc" "src/CMakeFiles/smdb.dir/sim/directory.cc.o" "gcc" "src/CMakeFiles/smdb.dir/sim/directory.cc.o.d"
+  "/root/repo/src/sim/line_lock.cc" "src/CMakeFiles/smdb.dir/sim/line_lock.cc.o" "gcc" "src/CMakeFiles/smdb.dir/sim/line_lock.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/smdb.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/smdb.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/smdb.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/smdb.dir/sim/stats.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/CMakeFiles/smdb.dir/storage/disk.cc.o" "gcc" "src/CMakeFiles/smdb.dir/storage/disk.cc.o.d"
+  "/root/repo/src/storage/stable_db.cc" "src/CMakeFiles/smdb.dir/storage/stable_db.cc.o" "gcc" "src/CMakeFiles/smdb.dir/storage/stable_db.cc.o.d"
+  "/root/repo/src/storage/stable_log.cc" "src/CMakeFiles/smdb.dir/storage/stable_log.cc.o" "gcc" "src/CMakeFiles/smdb.dir/storage/stable_log.cc.o.d"
+  "/root/repo/src/txn/executor.cc" "src/CMakeFiles/smdb.dir/txn/executor.cc.o" "gcc" "src/CMakeFiles/smdb.dir/txn/executor.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/CMakeFiles/smdb.dir/txn/transaction.cc.o" "gcc" "src/CMakeFiles/smdb.dir/txn/transaction.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "src/CMakeFiles/smdb.dir/txn/txn_manager.cc.o" "gcc" "src/CMakeFiles/smdb.dir/txn/txn_manager.cc.o.d"
+  "/root/repo/src/wal/checkpoint.cc" "src/CMakeFiles/smdb.dir/wal/checkpoint.cc.o" "gcc" "src/CMakeFiles/smdb.dir/wal/checkpoint.cc.o.d"
+  "/root/repo/src/wal/log_manager.cc" "src/CMakeFiles/smdb.dir/wal/log_manager.cc.o" "gcc" "src/CMakeFiles/smdb.dir/wal/log_manager.cc.o.d"
+  "/root/repo/src/wal/log_record.cc" "src/CMakeFiles/smdb.dir/wal/log_record.cc.o" "gcc" "src/CMakeFiles/smdb.dir/wal/log_record.cc.o.d"
+  "/root/repo/src/workload/harness.cc" "src/CMakeFiles/smdb.dir/workload/harness.cc.o" "gcc" "src/CMakeFiles/smdb.dir/workload/harness.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/smdb.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/smdb.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_scenarios_test.dir/crash_scenarios_test.cc.o"
+  "CMakeFiles/crash_scenarios_test.dir/crash_scenarios_test.cc.o.d"
+  "crash_scenarios_test"
+  "crash_scenarios_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

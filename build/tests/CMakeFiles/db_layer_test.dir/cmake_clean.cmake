@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_layer_test.dir/db_layer_test.cc.o"
+  "CMakeFiles/db_layer_test.dir/db_layer_test.cc.o.d"
+  "db_layer_test"
+  "db_layer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_property_test.dir/harness_property_test.cc.o"
+  "CMakeFiles/harness_property_test.dir/harness_property_test.cc.o.d"
+  "harness_property_test"
+  "harness_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifa_checker_test.dir/ifa_checker_test.cc.o"
+  "CMakeFiles/ifa_checker_test.dir/ifa_checker_test.cc.o.d"
+  "ifa_checker_test"
+  "ifa_checker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifa_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

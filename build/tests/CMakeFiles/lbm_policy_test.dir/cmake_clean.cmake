@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbm_policy_test.dir/lbm_policy_test.cc.o"
+  "CMakeFiles/lbm_policy_test.dir/lbm_policy_test.cc.o.d"
+  "lbm_policy_test"
+  "lbm_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbm_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_property_test.dir/machine_property_test.cc.o"
+  "CMakeFiles/machine_property_test.dir/machine_property_test.cc.o.d"
+  "machine_property_test"
+  "machine_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smdb_run.dir/smdb_run.cc.o"
+  "CMakeFiles/smdb_run.dir/smdb_run.cc.o.d"
+  "smdb_run"
+  "smdb_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smdb_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
