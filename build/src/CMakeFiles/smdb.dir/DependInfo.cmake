@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/btree/btree.cc" "src/CMakeFiles/smdb.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/smdb.dir/btree/btree.cc.o.d"
   "/root/repo/src/btree/btree_recovery.cc" "src/CMakeFiles/smdb.dir/btree/btree_recovery.cc.o" "gcc" "src/CMakeFiles/smdb.dir/btree/btree_recovery.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/smdb.dir/common/json.cc.o" "gcc" "src/CMakeFiles/smdb.dir/common/json.cc.o.d"
   "/root/repo/src/common/rng.cc" "src/CMakeFiles/smdb.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/smdb.dir/common/rng.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/smdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/smdb.dir/common/status.cc.o.d"
   "/root/repo/src/core/baselines.cc" "src/CMakeFiles/smdb.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/smdb.dir/core/baselines.cc.o.d"
@@ -25,6 +26,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/db/page_layout.cc" "src/CMakeFiles/smdb.dir/db/page_layout.cc.o" "gcc" "src/CMakeFiles/smdb.dir/db/page_layout.cc.o.d"
   "/root/repo/src/db/record_store.cc" "src/CMakeFiles/smdb.dir/db/record_store.cc.o" "gcc" "src/CMakeFiles/smdb.dir/db/record_store.cc.o.d"
   "/root/repo/src/db/wal_table.cc" "src/CMakeFiles/smdb.dir/db/wal_table.cc.o" "gcc" "src/CMakeFiles/smdb.dir/db/wal_table.cc.o.d"
+  "/root/repo/src/fuzz/fuzz_case.cc" "src/CMakeFiles/smdb.dir/fuzz/fuzz_case.cc.o" "gcc" "src/CMakeFiles/smdb.dir/fuzz/fuzz_case.cc.o.d"
+  "/root/repo/src/fuzz/fuzzer.cc" "src/CMakeFiles/smdb.dir/fuzz/fuzzer.cc.o" "gcc" "src/CMakeFiles/smdb.dir/fuzz/fuzzer.cc.o.d"
   "/root/repo/src/hash/hash_index.cc" "src/CMakeFiles/smdb.dir/hash/hash_index.cc.o" "gcc" "src/CMakeFiles/smdb.dir/hash/hash_index.cc.o.d"
   "/root/repo/src/lockmgr/lcb.cc" "src/CMakeFiles/smdb.dir/lockmgr/lcb.cc.o" "gcc" "src/CMakeFiles/smdb.dir/lockmgr/lcb.cc.o.d"
   "/root/repo/src/lockmgr/lock_table.cc" "src/CMakeFiles/smdb.dir/lockmgr/lock_table.cc.o" "gcc" "src/CMakeFiles/smdb.dir/lockmgr/lock_table.cc.o.d"
@@ -44,6 +47,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/wal/log_manager.cc" "src/CMakeFiles/smdb.dir/wal/log_manager.cc.o" "gcc" "src/CMakeFiles/smdb.dir/wal/log_manager.cc.o.d"
   "/root/repo/src/wal/log_record.cc" "src/CMakeFiles/smdb.dir/wal/log_record.cc.o" "gcc" "src/CMakeFiles/smdb.dir/wal/log_record.cc.o.d"
   "/root/repo/src/workload/harness.cc" "src/CMakeFiles/smdb.dir/workload/harness.cc.o" "gcc" "src/CMakeFiles/smdb.dir/workload/harness.cc.o.d"
+  "/root/repo/src/workload/spec_json.cc" "src/CMakeFiles/smdb.dir/workload/spec_json.cc.o" "gcc" "src/CMakeFiles/smdb.dir/workload/spec_json.cc.o.d"
   "/root/repo/src/workload/workload.cc" "src/CMakeFiles/smdb.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/smdb.dir/workload/workload.cc.o.d"
   )
 

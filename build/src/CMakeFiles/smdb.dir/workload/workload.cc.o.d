@@ -233,4 +233,7 @@ src/CMakeFiles/smdb.dir/workload/workload.cc.o: \
  /root/repo/src/core/dependency_tracker.h \
  /root/repo/src/db/record_store.h /root/repo/src/db/page_layout.h \
  /root/repo/src/lockmgr/lock_table.h /root/repo/src/lockmgr/lcb.h \
- /root/repo/src/txn/parallel.h
+ /root/repo/src/txn/parallel.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

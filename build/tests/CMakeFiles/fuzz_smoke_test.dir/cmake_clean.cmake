@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_smoke_test.dir/fuzz_smoke_test.cc.o"
+  "CMakeFiles/fuzz_smoke_test.dir/fuzz_smoke_test.cc.o.d"
+  "fuzz_smoke_test"
+  "fuzz_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

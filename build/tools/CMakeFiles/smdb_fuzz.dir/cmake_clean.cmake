@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smdb_fuzz.dir/smdb_fuzz.cc.o"
+  "CMakeFiles/smdb_fuzz.dir/smdb_fuzz.cc.o.d"
+  "smdb_fuzz"
+  "smdb_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smdb_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,355 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace smdb {
+namespace json {
+
+const std::string& Value::EmptyString() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+void Value::Set(const std::string& key, Value v) {
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+const Value* Value::Find(const std::string& key) const {
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+uint64_t Value::AsUint(uint64_t def) const {
+  switch (type_) {
+    case Type::kUint:
+      return uint_;
+    case Type::kDouble:
+      return double_ < 0 ? def : static_cast<uint64_t>(double_);
+    default:
+      return def;
+  }
+}
+
+double Value::AsDouble(double def) const {
+  switch (type_) {
+    case Type::kUint:
+      return static_cast<double>(uint_);
+    case Type::kDouble:
+      return double_;
+    default:
+      return def;
+  }
+}
+
+bool Value::GetBool(const std::string& key, bool def) const {
+  const Value* v = Find(key);
+  return v == nullptr ? def : v->AsBool(def);
+}
+
+uint64_t Value::GetUint(const std::string& key, uint64_t def) const {
+  const Value* v = Find(key);
+  return v == nullptr ? def : v->AsUint(def);
+}
+
+double Value::GetDouble(const std::string& key, double def) const {
+  const Value* v = Find(key);
+  return v == nullptr ? def : v->AsDouble(def);
+}
+
+std::string Value::GetString(const std::string& key,
+                             const std::string& def) const {
+  const Value* v = Find(key);
+  return v == nullptr ? def : v->AsString(def);
+}
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  char buf[32];
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kUint:
+      std::snprintf(buf, sizeof buf, "%llu",
+                    static_cast<unsigned long long>(uint_));
+      *out += buf;
+      break;
+    case Type::kDouble:
+      std::snprintf(buf, sizeof buf, "%.17g", double_);
+      *out += buf;
+      break;
+    case Type::kString:
+      EscapeTo(str_, out);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Newline(out, indent, depth + 1);
+        arr_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) Newline(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Newline(out, indent, depth + 1);
+        EscapeTo(obj_[i].first, out);
+        out->push_back(':');
+        if (indent > 0) out->push_back(' ');
+        obj_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) Newline(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  if (indent > 0) out.push_back('\n');
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the serialized subset above (which is all
+/// of JSON except exponent-free integer fidelity: digit-only tokens become
+/// kUint, anything with '.', 'e', or '-' becomes kDouble).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Result<Value> Parse() {
+    Value v;
+    SMDB_RETURN_IF_ERROR(ParseValue(&v, 0));
+    SkipWs();
+    if (pos_ != s_.size()) return Err("trailing characters");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument("json parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= s_.size()) return Err("unexpected end of input");
+    char c = s_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') return ParseString(out);
+    if (c == 't' || c == 'f') return ParseBool(out);
+    if (c == 'n') return ParseNull(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    ++pos_;  // '{'
+    *out = Value::Object();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipWs();
+      Value key;
+      if (pos_ >= s_.size() || s_[pos_] != '"') return Err("expected key");
+      SMDB_RETURN_IF_ERROR(ParseString(&key));
+      if (!Consume(':')) return Err("expected ':'");
+      Value val;
+      SMDB_RETURN_IF_ERROR(ParseValue(&val, depth + 1));
+      out->Set(key.AsString(), std::move(val));
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Err("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    ++pos_;  // '['
+    *out = Value::Array();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      Value val;
+      SMDB_RETURN_IF_ERROR(ParseValue(&val, depth + 1));
+      out->Append(std::move(val));
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Err("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(Value* out) {
+    ++pos_;  // '"'
+    std::string s;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c != '\\') {
+        s.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return Err("bad escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': s.push_back('"'); break;
+        case '\\': s.push_back('\\'); break;
+        case '/': s.push_back('/'); break;
+        case 'n': s.push_back('\n'); break;
+        case 'r': s.push_back('\r'); break;
+        case 't': s.push_back('\t'); break;
+        case 'b': s.push_back('\b'); break;
+        case 'f': s.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return Err("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= unsigned(h - 'A' + 10);
+            else return Err("bad \\u escape");
+          }
+          // Only the Latin-1 range is emitted by our writer.
+          s.push_back(static_cast<char>(code & 0xFF));
+          break;
+        }
+        default:
+          return Err("bad escape");
+      }
+    }
+    if (pos_ >= s_.size()) return Err("unterminated string");
+    ++pos_;  // closing '"'
+    *out = Value::Str(std::move(s));
+    return Status::Ok();
+  }
+
+  Status ParseBool(Value* out) {
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = Value::Bool(true);
+      return Status::Ok();
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = Value::Bool(false);
+      return Status::Ok();
+    }
+    return Err("bad literal");
+  }
+
+  Status ParseNull(Value* out) {
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      *out = Value::Null();
+      return Status::Ok();
+    }
+    return Err("bad literal");
+  }
+
+  Status ParseNumber(Value* out) {
+    size_t start = pos_;
+    bool integral = true;
+    if (pos_ < s_.size() && s_[pos_] == '-') {
+      integral = false;
+      ++pos_;
+    }
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Err("expected number");
+    std::string tok = s_.substr(start, pos_ - start);
+    if (integral) {
+      *out = Value::Uint(std::strtoull(tok.c_str(), nullptr, 10));
+    } else {
+      *out = Value::Double(std::strtod(tok.c_str(), nullptr));
+    }
+    return Status::Ok();
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Value::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace json
+}  // namespace smdb

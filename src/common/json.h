@@ -1,0 +1,131 @@
+#ifndef SMDB_COMMON_JSON_H_
+#define SMDB_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace smdb {
+namespace json {
+
+/// Minimal JSON document model for the fuzzer's replay files and other
+/// config serialization. Deliberately tiny: ordered objects, arrays,
+/// strings, bools, null, and numbers. Integers are kept as uint64_t so
+/// 64-bit RNG seeds round-trip bit-exactly (a double would silently lose
+/// precision above 2^53 and break deterministic replay).
+class Value {
+ public:
+  enum class Type : uint8_t {
+    kNull,
+    kBool,
+    kUint,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static Value Uint(uint64_t u) {
+    Value v;
+    v.type_ = Type::kUint;
+    v.uint_ = u;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.type_ = Type::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static Value Str(std::string s) {
+    Value v;
+    v.type_ = Type::kString;
+    v.str_ = std::move(s);
+    return v;
+  }
+  static Value Array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value Object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  // Builders ------------------------------------------------------------
+
+  /// Appends to an array value.
+  void Append(Value v) { arr_.push_back(std::move(v)); }
+  /// Sets (or replaces) a key of an object value.
+  void Set(const std::string& key, Value v);
+
+  // Accessors -----------------------------------------------------------
+
+  /// Object member lookup; nullptr if absent or not an object.
+  const Value* Find(const std::string& key) const;
+
+  const std::vector<Value>& array() const { return arr_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return obj_;
+  }
+
+  /// Loose scalar readers with defaults (numbers convert between the two
+  /// numeric representations).
+  bool AsBool(bool def = false) const {
+    return type_ == Type::kBool ? bool_ : def;
+  }
+  uint64_t AsUint(uint64_t def = 0) const;
+  double AsDouble(double def = 0.0) const;
+  const std::string& AsString(const std::string& def = EmptyString()) const {
+    return type_ == Type::kString ? str_ : def;
+  }
+
+  /// Convenience: object member as scalar with default.
+  bool GetBool(const std::string& key, bool def = false) const;
+  uint64_t GetUint(const std::string& key, uint64_t def = 0) const;
+  double GetDouble(const std::string& key, double def = 0.0) const;
+  std::string GetString(const std::string& key,
+                        const std::string& def = "") const;
+
+  // Serialization -------------------------------------------------------
+
+  /// Serializes; indent > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  static Result<Value> Parse(const std::string& text);
+
+ private:
+  static const std::string& EmptyString();
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+}  // namespace json
+}  // namespace smdb
+
+#endif  // SMDB_COMMON_JSON_H_

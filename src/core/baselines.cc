@@ -12,32 +12,28 @@ Status RecoveryManager::RunRebootAll(Ctx& ctx) {
   Machine& m = db_->machine();
   ctx.out.whole_machine_restart = true;
 
-  // Every surviving-node active transaction is an unnecessary abort.
+  // Every surviving-node active transaction is an unnecessary abort. Their
+  // volatile logs die in the reboot, so the undo pass must treat their
+  // stolen updates like any other dead uncommitted work: nothing stays
+  // preserved.
   for (Transaction* t : ctx.surviving_active) {
     ctx.out.forced_aborts.push_back(t->id);
     ctx.uncommitted_ids.insert(t->id);
   }
   ctx.out.preserved.clear();
+  ctx.preserved_ids.clear();
 
-  // Every node's volatile log dies in the reboot, so the "begun in the
-  // stable log but neither committed nor aborted there" analysis must cover
-  // all nodes (e.g. a pre-crash abort on a remote node whose CLRs were
-  // never forced leaves a stolen value in the stable database).
-  for (NodeId n = 0; n < m.num_nodes(); ++n) {
-    std::set<TxnId> begun, finished;
-    db_->log().ForEachStable(n, [&](const LogRecord& rec) {
-      if (rec.txn == kInvalidTxn) return;
-      if (rec.type == LogRecordType::kCommit ||
-          rec.type == LogRecordType::kAbort) {
-        finished.insert(rec.txn);
-      } else {
-        begun.insert(rec.txn);
-      }
-    });
-    for (TxnId t : begun) {
-      if (!finished.contains(t)) ctx.uncommitted_ids.insert(t);
-    }
-  }
+  // Transactions whose abort record exists only in a (formerly) live node's
+  // volatile tail lose that tail — and the CLRs before it — in the reboot.
+  // Repeating history will replay their stable-logged updates, so they must
+  // rejoin the undo set.
+  ctx.uncommitted_ids.insert(ctx.volatile_finished.begin(),
+                             ctx.volatile_finished.end());
+
+  // BuildContext already ran the "begun in a stable log but neither
+  // committed nor aborted there" analysis over every node, which is exactly
+  // the coverage a whole-machine restart needs (every volatile log dies in
+  // the reboot).
 
   // The machine goes down and comes back: all caches, memories and
   // volatile log tails are gone; every node pays the reboot penalty.
@@ -62,14 +58,9 @@ Status RecoveryManager::RunRebootAll(Ctx& ctx) {
 
   SMDB_RETURN_IF_ERROR(ReplayLogsWithGuard(ctx));
 
-  // Undo uncommitted work from *all* stable logs (everything is "crashed").
-  std::vector<NodeId> all_nodes;
-  for (NodeId n = 0; n < m.num_nodes(); ++n) all_nodes.push_back(n);
-  std::vector<NodeId> saved = ctx.crashed;
-  ctx.crashed = all_nodes;
-  Status s = UndoCrashedFromStableLogs(ctx);
-  ctx.crashed = saved;
-  SMDB_RETURN_IF_ERROR(s);
+  // Undo uncommitted work from the stable logs (the pass scans every
+  // node's stable log, and nothing is preserved here).
+  SMDB_RETURN_IF_ERROR(UndoCrashedFromStableLogs(ctx));
 
   // The lock space is volatile: it was destroyed wholesale. Clear the lost
   // lines; there are no surviving transactions whose locks need rebuilding.

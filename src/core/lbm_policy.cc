@@ -22,7 +22,50 @@ std::string RecoveryConfig::Name() const {
       restart_name = "AbortDependents";
       break;
   }
-  return lbm_name + "+" + restart_name;
+  return lbm_name + "+" + restart_name +
+         (disable_undo_tagging ? "(no-undo-tags!)" : "");
+}
+
+namespace {
+
+struct FlagNameEntry {
+  const char* name;
+  RecoveryConfig config;
+};
+
+const FlagNameEntry kFlagNames[] = {
+    {"volatile-selective", RecoveryConfig::VolatileSelectiveRedo()},
+    {"volatile-redoall", RecoveryConfig::VolatileRedoAll()},
+    {"stable-eager", RecoveryConfig::StableEagerRedoAll()},
+    {"stable-triggered", RecoveryConfig::StableTriggeredRedoAll()},
+    {"stable-triggered-selective",
+     RecoveryConfig::StableTriggeredSelectiveRedo()},
+    {"reboot-all", RecoveryConfig::BaselineRebootAll()},
+    {"abort-dependents", RecoveryConfig::BaselineAbortDependents()},
+};
+
+}  // namespace
+
+std::string RecoveryConfig::FlagName() const {
+  for (const FlagNameEntry& e : kFlagNames) {
+    if (e.config.lbm == lbm && e.config.restart == restart &&
+        e.config.log_lock_ops == log_lock_ops &&
+        e.config.early_commit_structural == early_commit_structural) {
+      return e.name;
+    }
+  }
+  return "custom";
+}
+
+bool RecoveryConfig::FromFlagName(const std::string& name,
+                                  RecoveryConfig* out) {
+  for (const FlagNameEntry& e : kFlagNames) {
+    if (name == e.name) {
+      *out = e.config;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::unique_ptr<LbmPolicy> LbmPolicy::Create(LbmKind kind, Machine* machine,

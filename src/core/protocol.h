@@ -55,21 +55,38 @@ struct RecoveryConfig {
   /// nested top-level actions (Table 1 row 1; required for IFA).
   bool early_commit_structural = true;
 
+  /// Fault injection: suppress undo tags even when the restart scheme
+  /// depends on them. This breaks IFA by construction (a crashed node's
+  /// migrated update survives untagged in a remote cache and never gets
+  /// undone) — the crash-schedule fuzzer uses it to prove it detects real
+  /// protocol violations. Never set outside fuzzing/tests.
+  bool disable_undo_tagging = false;
+
   /// Undo Tagging (Table 1 row 3): needed by Selective Redo (and by the
   /// abort-dependents baseline, which reuses its undo machinery).
   bool undo_tagging() const {
-    return restart == RestartKind::kSelectiveRedo ||
-           restart == RestartKind::kAbortDependents;
+    return !disable_undo_tagging &&
+           (restart == RestartKind::kSelectiveRedo ||
+            restart == RestartKind::kAbortDependents);
   }
 
-  /// True if this configuration guarantees IFA.
+  /// True if this configuration guarantees IFA. Selective Redo only
+  /// qualifies with its undo tags intact (Table 1 row 3).
   bool ensures_ifa() const {
-    return lbm != LbmKind::kNone &&
-           (restart == RestartKind::kRedoAll ||
-            restart == RestartKind::kSelectiveRedo);
+    if (lbm == LbmKind::kNone) return false;
+    if (restart == RestartKind::kRedoAll) return true;
+    return restart == RestartKind::kSelectiveRedo && undo_tagging();
   }
 
   std::string Name() const;
+
+  /// Stable flag-style name of the matching preset ("volatile-selective",
+  /// "reboot-all", ...); "custom" for non-preset combinations. Used by the
+  /// CLI tools and the fuzzer's replay files.
+  std::string FlagName() const;
+
+  /// Parses a FlagName back into a preset. Returns false for unknown names.
+  static bool FromFlagName(const std::string& name, RecoveryConfig* out);
 
   // Presets -----------------------------------------------------------
 

@@ -12,6 +12,10 @@ namespace smdb {
 /// recovery-time (R1) and abort-avoidance (A1) experiments read these
 /// fields directly.
 struct RecoveryOutcome {
+  /// The node set this recovery was run for (deduplicated). Triage tools —
+  /// notably the crash-schedule fuzzer — use it to correlate an outcome
+  /// with the crash plan that fired it.
+  std::vector<NodeId> crashed_nodes;
   /// Active transactions on crashed nodes whose effects were undone (the
   /// "all effects ... will be undone" half of IFA).
   std::vector<TxnId> annulled;

@@ -12,7 +12,12 @@ namespace smdb {
 
 std::string RecoveryOutcome::ToString() const {
   std::ostringstream os;
-  os << "annulled=" << annulled.size() << " preserved=" << preserved.size()
+  os << "crashed=[";
+  for (size_t i = 0; i < crashed_nodes.size(); ++i) {
+    if (i > 0) os << ",";
+    os << crashed_nodes[i];
+  }
+  os << "] annulled=" << annulled.size() << " preserved=" << preserved.size()
      << " forced_aborts=" << forced_aborts.size()
      << " redo_applied=" << redo_applied << " redo_skipped=" << redo_skipped
      << " undo_applied=" << undo_applied
@@ -43,11 +48,16 @@ Status RecoveryManager::BuildContext(const std::vector<NodeId>& crashed,
   ctx->crashed = crashed;
   ctx->crashed_set.insert(crashed.begin(), crashed.end());
   for (NodeId n = 0; n < db_->machine().num_nodes(); ++n) {
-    if (db_->machine().NodeAlive(n)) ctx->survivors.push_back(n);
+    if (db_->machine().NodeAlive(n)) {
+      ctx->survivors.push_back(n);
+    } else {
+      // Includes nodes still down from earlier crashes, not just the new
+      // ones: their stale tags and residual log records are equally live.
+      ctx->dead_set.insert(n);
+    }
   }
-  if (ctx->survivors.empty()) {
-    return Status::InvalidArgument("no surviving nodes");
-  }
+  // survivors may be empty (every node failed); Run falls back to a
+  // whole-machine restart in that case.
   // In a real system the crashed nodes' active transactions are identified
   // from the (recovered) lock table and the stable logs; the TxnManager's
   // transaction table stands in for that analysis here.
@@ -62,15 +72,21 @@ Status RecoveryManager::BuildContext(const std::vector<NodeId>& crashed,
     ctx->uncommitted_ids.insert(t->id);
     if (!ctx->crashed_set.contains(t->node())) {
       ctx->surviving_active.push_back(t);
+      ctx->preserved_ids.insert(t->id);
       ctx->out.preserved.push_back(t->id);
     }
   }
-  // Transactions visible in a crashed node's stable log without a commit
-  // *or abort* record are uncommitted too (e.g. an abort whose CLRs died
-  // with the volatile tail). A stable Abort record implies the CLRs are
-  // stable as well (log forces move the whole tail), so such transactions
-  // are fully handled by the repeating-history redo pass.
-  for (NodeId c : ctx->crashed) {
+  // Transactions visible in any stable log without a commit *or abort*
+  // record are uncommitted too (e.g. an abort whose CLRs died with the
+  // volatile tail). A stable Abort record implies the CLRs are stable as
+  // well (log forces move the whole tail), so such transactions are fully
+  // handled by the repeating-history redo pass. Every node's stable log is
+  // scanned — not just the newly-crashed ones' — because a steal flush can
+  // strand an uncommitted update in the stable database long after its
+  // transaction's node crashed (or crashed and restarted), and the
+  // compensations a previous recovery wrote for it are themselves volatile
+  // until flushed or forced.
+  for (NodeId c = 0; c < db_->machine().num_nodes(); ++c) {
     std::set<TxnId> begun, finished;
     db_->log().ForEachStable(c, [&](const LogRecord& rec) {
       if (rec.txn == kInvalidTxn) return;
@@ -81,8 +97,29 @@ Status RecoveryManager::BuildContext(const std::vector<NodeId>& crashed,
         begun.insert(rec.txn);
       }
     });
+    std::set<TxnId> tail_finished;
+    if (db_->machine().NodeAlive(c)) {
+      // A live node's volatile tail is intact and authoritative: an abort
+      // record there means the rollback already ran on this node's own log
+      // (commits always force, so only aborts can be volatile-only). Without
+      // this, a normally-aborted transaction whose pre-abort updates were
+      // forced stable would be re-flagged and re-undone on every recovery.
+      // RebootAll destroys these tails, so the exclusions are recorded in
+      // volatile_finished and revoked there.
+      db_->log().ForEachAll(c, [&](const LogRecord& rec) {
+        if (rec.type == LogRecordType::kCommit ||
+            rec.type == LogRecordType::kAbort) {
+          tail_finished.insert(rec.txn);
+        }
+      });
+    }
     for (TxnId t : begun) {
-      if (!finished.contains(t)) ctx->uncommitted_ids.insert(t);
+      if (finished.contains(t)) continue;
+      if (tail_finished.contains(t)) {
+        ctx->volatile_finished.insert(t);
+      } else {
+        ctx->uncommitted_ids.insert(t);
+      }
     }
   }
   return Status::Ok();
@@ -232,12 +269,18 @@ Status RecoveryManager::ReplayLogsWithGuard(Ctx& ctx) {
 }
 
 Status RecoveryManager::UndoCrashedFromStableLogs(Ctx& ctx) {
-  // Collect every non-CLR update/index record of uncommitted transactions
-  // from crashed nodes' stable logs, and undo in reverse USN order.
+  // Collect every non-CLR update/index record of uncommitted dead
+  // transactions from every stable log, and undo in reverse USN order.
+  // Surviving active transactions are excluded — their (stolen) updates are
+  // exactly what IFA preserves. The all-node scan re-derives undo work left
+  // over from earlier crashes whose compensations were since lost; the
+  // engagement guard in ApplyUndo* turns already-compensated records into
+  // no-ops, so re-undoing is safe.
   std::vector<LogRecord> to_undo;
-  for (NodeId c : ctx.crashed) {
+  for (NodeId c = 0; c < db_->machine().num_nodes(); ++c) {
     db_->log().ForEachStable(c, [&](const LogRecord& rec) {
       if (!ctx.uncommitted_ids.contains(rec.txn)) return;
+      if (ctx.preserved_ids.contains(rec.txn)) return;
       if (rec.type == LogRecordType::kUpdate && !rec.update().is_clr) {
         to_undo.push_back(rec);
       } else if (rec.type == LogRecordType::kIndexOp &&
@@ -256,7 +299,67 @@ Status RecoveryManager::UndoCrashedFromStableLogs(Ctx& ctx) {
                                 : b.index_op().usn;
               return ua > ub;  // reverse order
             });
+
+  // A previous recovery's compensation chain for one of these transactions
+  // can be split across several performers' logs (the undo pass round-robins
+  // survivors), so a later crash can lose its tail while the redo pass
+  // replays its surviving prefix. That leaves the object at an intermediate
+  // CLR state whose USN matches no original record — which the engagement
+  // guard would misread as "legitimately overwritten" and strand the object
+  // mid-rollback. Pre-seed the engagement map: if an object's current USN
+  // was produced by a CLR of a transaction being undone here, resume that
+  // transaction's chain. Re-undoing an already-compensated record is value-
+  // safe — the chain re-converges to the oldest before image.
+  std::set<TxnId> undo_txns;
+  for (const LogRecord& rec : to_undo) undo_txns.insert(rec.txn);
+  std::map<uint64_t, std::pair<TxnId, RecordId>> clr_slots;
+  std::map<uint64_t, std::pair<TxnId, std::pair<uint32_t, uint64_t>>>
+      clr_keys;
+  Machine& m = db_->machine();
+  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+    auto visit = [&](const LogRecord& rec) {
+      if (!undo_txns.contains(rec.txn)) return;
+      if (rec.type == LogRecordType::kUpdate && rec.update().is_clr) {
+        clr_slots[rec.update().usn] = {rec.txn, rec.update().rid};
+      } else if (rec.type == LogRecordType::kIndexOp &&
+                 rec.index_op().is_clr) {
+        const IndexOpPayload& op = rec.index_op();
+        clr_keys[op.usn] = {rec.txn, {op.tree_id, op.key}};
+      }
+    };
+    if (m.NodeAlive(n)) {
+      db_->log().ForEachAll(n, visit);
+    } else {
+      db_->log().ForEachStable(n, visit);
+    }
+  }
+
   TxnManager::UndoEngagement eng;
+  std::set<RecordId> seeded_rids;
+  std::set<std::pair<uint32_t, uint64_t>> seeded_keys;
+  for (const LogRecord& rec : to_undo) {
+    if (rec.type == LogRecordType::kUpdate) {
+      RecordId rid = rec.update().rid;
+      if (!seeded_rids.insert(rid).second) continue;
+      SMDB_ASSIGN_OR_RETURN(SlotImage cur,
+                            db_->records().ReadSlot(ctx.NextSurvivor(), rid));
+      auto it = clr_slots.find(cur.usn);
+      if (it != clr_slots.end() && it->second.second == rid) {
+        eng.records[rid] = it->second.first;
+      }
+    } else {
+      const IndexOpPayload& op = rec.index_op();
+      std::pair<uint32_t, uint64_t> key{op.tree_id, op.key};
+      if (!seeded_keys.insert(key).second) continue;
+      SMDB_ASSIGN_OR_RETURN(auto entry,
+                            db_->index().GetEntry(ctx.NextSurvivor(), op.key));
+      if (!entry.has_value()) continue;
+      auto it = clr_keys.find(entry->usn);
+      if (it != clr_keys.end() && it->second.second == key) {
+        eng.keys[key] = it->second.first;
+      }
+    }
+  }
   for (const LogRecord& rec : to_undo) {
     NodeId performer = ctx.NextSurvivor();
     if (rec.type == LogRecordType::kUpdate) {
@@ -277,10 +380,10 @@ Status RecoveryManager::TagScanUndo(Ctx& ctx) {
   StableStateReconstructor reconstructor(&m, &db_->log(), &db_->buffers(),
                                          &rs, ctx.uncommitted_ids);
 
-  // Map USN -> owning txn from crashed nodes' stable logs, to distinguish
-  // "tag stale because the commit beat the tag-clear" from "uncommitted".
+  // Map USN -> owning txn from every stable log, to distinguish "tag stale
+  // because the commit beat the tag-clear" from "uncommitted".
   std::unordered_map<uint64_t, TxnId> usn_owner;
-  for (NodeId c : ctx.crashed) {
+  for (NodeId c = 0; c < m.num_nodes(); ++c) {
     db_->log().ForEachStable(c, [&](const LogRecord& rec) {
       if (rec.type == LogRecordType::kUpdate) {
         usn_owner[rec.update().usn] = rec.txn;
@@ -289,10 +392,18 @@ Status RecoveryManager::TagScanUndo(Ctx& ctx) {
       }
     });
   }
-  auto stale_committed_tag = [&](uint64_t usn) {
+  auto stale_committed_tag = [&](uint64_t usn, NodeId tagged) {
     auto it = usn_owner.find(usn);
-    if (it == usn_owner.end()) return false;  // volatile-only => uncommitted
-    return !ctx.uncommitted_ids.contains(it->second);
+    if (it != usn_owner.end()) {
+      return !ctx.uncommitted_ids.contains(it->second);
+    }
+    // Not in any stable log. A tagged USN was appended to the tagged node's
+    // own log, which is USN-monotone in LSN order: at or below that node's
+    // truncation high-water mark, the record was reclaimed by a checkpoint
+    // (only finished transactions' records are; the commit beat the
+    // tag-clear). Above the mark, it only ever existed in the node's lost
+    // volatile tail — uncommitted.
+    return usn <= db_->log().max_truncated_usn(tagged);
   };
 
   for (NodeId s : ctx.survivors) {
@@ -307,8 +418,8 @@ Status RecoveryManager::TagScanUndo(Ctx& ctx) {
         SMDB_ASSIGN_OR_RETURN(SlotImage img, rs.ReadSlot(s, rid));
         if (img.tag == kTagNone) continue;
         NodeId tagged = NodeOfTag(img.tag);
-        if (!ctx.crashed_set.contains(tagged)) continue;
-        if (stale_committed_tag(img.usn)) {
+        if (!ctx.dead_set.contains(tagged)) continue;
+        if (stale_committed_tag(img.usn, tagged)) {
           // Commit happened; only the tag-clear was lost. Clear it now.
           SMDB_RETURN_IF_ERROR(m.GetLine(s, line));
           Status st = rs.WriteTag(s, rid, kTagNone);
@@ -344,8 +455,8 @@ Status RecoveryManager::TagScanUndo(Ctx& ctx) {
       for (const auto& ref : index.EntriesInLine(line)) {
         if (ref.entry.tag == kTagNone) continue;
         NodeId tagged = NodeOfTag(ref.entry.tag);
-        if (!ctx.crashed_set.contains(tagged)) continue;
-        if (stale_committed_tag(ref.entry.usn)) {
+        if (!ctx.dead_set.contains(tagged)) continue;
+        if (stale_committed_tag(ref.entry.usn, tagged)) {
           SMDB_RETURN_IF_ERROR(index.ClearTag(s, ref.entry.key));
           continue;
         }
@@ -449,21 +560,32 @@ Result<RecoveryOutcome> RecoveryManager::Run(
   Machine& m = db_->machine();
   m.SyncClocks();
   SimTime t0 = m.GlobalTime();
+  ctx.out.crashed_nodes = ctx.crashed;
 
   Status s;
-  switch (db_->config().recovery.restart) {
-    case RestartKind::kRedoAll:
-      s = RunRedoAll(ctx);
-      break;
-    case RestartKind::kSelectiveRedo:
-      s = RunSelectiveRedo(ctx);
-      break;
-    case RestartKind::kRebootAll:
-      s = RunRebootAll(ctx);
-      break;
-    case RestartKind::kAbortDependents:
-      s = RunAbortDependents(ctx);
-      break;
+  if (ctx.survivors.empty()) {
+    // Every node failed: there is no survivor left to run the distributed
+    // recovery schemes, so this is a whole-machine crash regardless of the
+    // configured protocol. The machine reboots and restarts from stable
+    // storage. All active transactions were on crashed nodes, so they are
+    // annulled (not "unnecessarily aborted") and IFA holds trivially.
+    for (NodeId n = 0; n < m.num_nodes(); ++n) ctx.survivors.push_back(n);
+    s = RunRebootAll(ctx);
+  } else {
+    switch (db_->config().recovery.restart) {
+      case RestartKind::kRedoAll:
+        s = RunRedoAll(ctx);
+        break;
+      case RestartKind::kSelectiveRedo:
+        s = RunSelectiveRedo(ctx);
+        break;
+      case RestartKind::kRebootAll:
+        s = RunRebootAll(ctx);
+        break;
+      case RestartKind::kAbortDependents:
+        s = RunAbortDependents(ctx);
+        break;
+    }
   }
   SMDB_RETURN_IF_ERROR(s);
 

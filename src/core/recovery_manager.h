@@ -42,13 +42,25 @@ class RecoveryManager {
     std::vector<NodeId> crashed;
     std::vector<NodeId> survivors;
     std::set<NodeId> crashed_set;
+    /// Every node that is down right now: the newly-crashed set plus any
+    /// node still dead from an earlier, unrestarted crash. Stale undo tags
+    /// and residual uncommitted log records can reference either kind.
+    std::set<NodeId> dead_set;
     std::vector<Transaction*> crashed_active;
     std::vector<Transaction*> surviving_active;
     std::set<TxnId> crashed_active_ids;
+    /// Surviving active transactions, whose effects recovery must preserve
+    /// (never undo) — the IFA guarantee.
+    std::set<TxnId> preserved_ids;
     /// Every transaction whose updates must not count as committed during
     /// reconstruction: all currently-active transactions plus transactions
-    /// that appear in a crashed node's stable log without a commit record.
+    /// that appear in any stable log without a commit or abort record.
     std::set<TxnId> uncommitted_ids;
+    /// Transactions begun in a stable log whose only finish record (an
+    /// abort; commits always force) lives in a live node's volatile tail.
+    /// Their rollback already ran, so node-granular schemes leave them
+    /// alone — but RebootAll destroys that tail and must re-undo them.
+    std::set<TxnId> volatile_finished;
     RecoveryOutcome out;
     size_t rr = 0;
 
@@ -68,12 +80,18 @@ class RecoveryManager {
   /// USN comparison (idempotent, order-free).
   Status ReplayLogsWithGuard(Ctx& ctx);
 
-  /// Undoes uncommitted work found in crashed nodes' stable logs (stolen
-  /// updates and pre-crash aborts whose CLRs were lost).
+  /// Undoes uncommitted dead work found in *any* stable log — stolen
+  /// updates and pre-crash aborts whose CLRs were lost. The scan must cover
+  /// every node, not just the newly-crashed ones: a steal flush can place an
+  /// uncommitted update in the stable database, and if the compensation a
+  /// previous recovery wrote for it is later lost with *its* performer's
+  /// cache and volatile log, the stale value resurrects on reload. Each
+  /// recovery therefore re-derives all pending undo from the stable logs;
+  /// the USN engagement guard keeps the pass idempotent.
   Status UndoCrashedFromStableLogs(Ctx& ctx);
 
   /// Selective Redo's tag scan: each survivor sweeps its cache for records
-  /// and index entries tagged with a crashed node and undoes them using
+  /// and index entries tagged with a dead node and undoes them using
   /// last committed values from stable store.
   Status TagScanUndo(Ctx& ctx);
 

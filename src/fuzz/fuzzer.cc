@@ -1,0 +1,215 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+
+namespace smdb {
+
+std::vector<RecoveryConfig> CrashScheduleFuzzer::DefaultProtocols() {
+  return {
+      RecoveryConfig::VolatileSelectiveRedo(),
+      RecoveryConfig::VolatileRedoAll(),
+      RecoveryConfig::StableEagerRedoAll(),
+      RecoveryConfig::StableTriggeredRedoAll(),
+      RecoveryConfig::StableTriggeredSelectiveRedo(),
+      RecoveryConfig::BaselineRebootAll(),
+      RecoveryConfig::BaselineAbortDependents(),
+  };
+}
+
+CrashScheduleFuzzer::CrashScheduleFuzzer(Options opts)
+    : opts_(std::move(opts)) {
+  if (opts_.protocols.empty()) opts_.protocols = DefaultProtocols();
+}
+
+FuzzVerdict CrashScheduleFuzzer::RunCase(const FuzzCase& fuzz_case,
+                                         RecoveryConfig protocol) {
+  protocol.disable_undo_tagging =
+      protocol.disable_undo_tagging || opts_.disable_undo_tagging;
+  Harness h(MakeHarnessConfig(fuzz_case, protocol));
+  auto report = h.Run();
+  ++stats_.runs;
+  if (!report.ok()) {
+    // The harness must complete every schedule; an error here is a harness
+    // or recovery-path bug, not a legitimate outcome.
+    return {true, "run-error", report.status().ToString()};
+  }
+  stats_.crashes_fired += report->recoveries.size();
+  stats_.crashes_skipped += report->skipped_crashes.size();
+  stats_.committed += report->exec.committed;
+  for (const RecoveryOutcome& r : report->recoveries) {
+    if (r.whole_machine_restart) ++stats_.whole_machine_restarts;
+  }
+
+  if (!report->verify_status.ok()) {
+    return {true, "ifa-verify", report->verify_status.ToString()};
+  }
+  if (protocol.ensures_ifa() && report->unnecessary_aborts() > 0) {
+    return {true, "unnecessary-aborts",
+            protocol.Name() + " forced " +
+                std::to_string(report->unnecessary_aborts()) +
+                " surviving-node aborts"};
+  }
+  if (protocol.restart == RestartKind::kRebootAll) {
+    for (const RecoveryOutcome& r : report->recoveries) {
+      if (!r.whole_machine_restart) {
+        return {true, "oracle",
+                "RebootAll recovery without a whole-machine restart"};
+      }
+    }
+  }
+  return {};
+}
+
+std::optional<FuzzFailure> CrashScheduleFuzzer::RunSeed(uint64_t seed) {
+  FuzzCase fuzz_case = SampleFuzzCase(seed);
+  ++stats_.cases;
+  for (const RecoveryConfig& rc : opts_.protocols) {
+    RecoveryConfig protocol = rc;
+    protocol.disable_undo_tagging =
+        protocol.disable_undo_tagging || opts_.disable_undo_tagging;
+    FuzzVerdict verdict = RunCase(fuzz_case, protocol);
+    if (verdict.failed) {
+      return FuzzFailure{seed, fuzz_case, protocol, std::move(verdict)};
+    }
+  }
+  return std::nullopt;
+}
+
+FuzzCase CrashScheduleFuzzer::Shrink(const FuzzFailure& failure) {
+  FuzzCase best = failure.fuzz_case;
+  size_t budget = opts_.max_shrink_runs;
+  auto still_fails = [&](const FuzzCase& cand) {
+    if (budget == 0) return false;  // out of budget: keep what we have
+    --budget;
+    ++stats_.shrink_runs;
+    return RunCase(cand, failure.protocol).failed;
+  };
+  auto try_reduce = [&](bool* changed, auto mutate) {
+    FuzzCase cand = best;
+    mutate(cand);
+    if (still_fails(cand)) {
+      best = std::move(cand);
+      *changed = true;
+    }
+  };
+
+  // Greedy delta debugging to a fixpoint: every reduction below is retried
+  // until none applies. Each candidate run is a full deterministic
+  // re-execution, so "still fails" is exact, not probabilistic.
+  bool changed = true;
+  while (changed && budget > 0) {
+    changed = false;
+
+    // 1. Drop whole crash plans.
+    for (size_t i = 0; i < best.crashes.size();) {
+      FuzzCase cand = best;
+      cand.crashes.erase(cand.crashes.begin() + i);
+      if (still_fails(cand)) {
+        best = std::move(cand);
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    // 2. Shrink each plan's node set.
+    for (size_t p = 0; p < best.crashes.size(); ++p) {
+      for (size_t i = 0;
+           best.crashes[p].nodes.size() > 1 && i < best.crashes[p].nodes.size();) {
+        FuzzCase cand = best;
+        cand.crashes[p].nodes.erase(cand.crashes[p].nodes.begin() + i);
+        if (still_fails(cand)) {
+          best = std::move(cand);
+          changed = true;
+        } else {
+          ++i;
+        }
+      }
+    }
+    // 3. Simplify plan attributes: no restart, earlier step.
+    for (size_t p = 0; p < best.crashes.size(); ++p) {
+      if (best.crashes[p].restart_after) {
+        try_reduce(&changed,
+                   [p](FuzzCase& c) { c.crashes[p].restart_after = false; });
+      }
+      if (best.crashes[p].at_step > 1) {
+        try_reduce(&changed,
+                   [p](FuzzCase& c) { c.crashes[p].at_step /= 2; });
+      }
+    }
+    // 4. Halve the workload.
+    if (best.workload.txns_per_node > 1) {
+      try_reduce(&changed, [](FuzzCase& c) { c.workload.txns_per_node /= 2; });
+    }
+    if (best.workload.ops_per_txn > 1) {
+      try_reduce(&changed, [](FuzzCase& c) { c.workload.ops_per_txn /= 2; });
+    }
+    // 5. Zero the noise knobs.
+    if (best.steal_flush_prob > 0.0) {
+      try_reduce(&changed, [](FuzzCase& c) { c.steal_flush_prob = 0.0; });
+    }
+    if (best.checkpoint_every_steps > 0) {
+      try_reduce(&changed,
+                 [](FuzzCase& c) { c.checkpoint_every_steps = 0; });
+    }
+    if (best.workload.index_op_ratio > 0.0) {
+      try_reduce(&changed, [](FuzzCase& c) { c.workload.index_op_ratio = 0.0; });
+    }
+    if (best.workload.dirty_read_ratio > 0.0) {
+      try_reduce(&changed,
+                 [](FuzzCase& c) { c.workload.dirty_read_ratio = 0.0; });
+    }
+    if (best.workload.voluntary_abort_ratio > 0.0) {
+      try_reduce(&changed,
+                 [](FuzzCase& c) { c.workload.voluntary_abort_ratio = 0.0; });
+    }
+    if (best.workload.zipf_theta > 0.0) {
+      try_reduce(&changed, [](FuzzCase& c) { c.workload.zipf_theta = 0.0; });
+    }
+  }
+  return best;
+}
+
+std::string CrashScheduleFuzzer::ReplayJson(const FuzzFailure& failure,
+                                            const FuzzCase& shrunk) const {
+  json::Value doc = json::Value::Object();
+  doc.Set("smdb_fuzz_replay", json::Value::Uint(1));
+  doc.Set("seed", json::Value::Uint(failure.seed));
+  doc.Set("protocol", json::Value::Str(failure.protocol.FlagName()));
+  doc.Set("disable_undo_tagging",
+          json::Value::Bool(failure.protocol.disable_undo_tagging));
+  doc.Set("case", shrunk.ToJson());
+  doc.Set("original_case", failure.fuzz_case.ToJson());
+  json::Value fail = json::Value::Object();
+  fail.Set("kind", json::Value::Str(failure.verdict.kind));
+  fail.Set("detail", json::Value::Str(failure.verdict.detail));
+  doc.Set("failure", std::move(fail));
+  return doc.Dump(2);
+}
+
+Result<CrashScheduleFuzzer::ReplayDoc> CrashScheduleFuzzer::ParseReplay(
+    const std::string& json_text) {
+  SMDB_ASSIGN_OR_RETURN(json::Value doc, json::Value::Parse(json_text));
+  if (!doc.is_object() || doc.GetUint("smdb_fuzz_replay") != 1) {
+    return Status::InvalidArgument("not an smdb_fuzz replay document");
+  }
+  ReplayDoc out;
+  out.seed = doc.GetUint("seed");
+  std::string proto = doc.GetString("protocol");
+  if (!RecoveryConfig::FromFlagName(proto, &out.protocol)) {
+    return Status::InvalidArgument("replay: unknown protocol '" + proto + "'");
+  }
+  out.protocol.disable_undo_tagging = doc.GetBool("disable_undo_tagging");
+  const json::Value* c = doc.Find("case");
+  if (c == nullptr) {
+    return Status::InvalidArgument("replay: missing case");
+  }
+  SMDB_ASSIGN_OR_RETURN(out.fuzz_case, FuzzCase::FromJson(*c));
+  const json::Value* fail = doc.Find("failure");
+  if (fail != nullptr) {
+    out.recorded_kind = fail->GetString("kind");
+    out.recorded_detail = fail->GetString("detail");
+  }
+  return out;
+}
+
+}  // namespace smdb

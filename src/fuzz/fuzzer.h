@@ -1,0 +1,104 @@
+#ifndef SMDB_FUZZ_FUZZER_H_
+#define SMDB_FUZZ_FUZZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_case.h"
+
+namespace smdb {
+
+/// Outcome of one (case, protocol) run against the failure predicate.
+struct FuzzVerdict {
+  bool failed = false;
+  /// "run-error" (harness returned a Status), "ifa-verify" (oracle caught
+  /// a violation), "unnecessary-aborts" (an IFA protocol aborted surviving
+  /// work), or "oracle" (a baseline misbehaved against its own contract).
+  std::string kind;
+  std::string detail;
+};
+
+/// A failing (seed, case, protocol) triple.
+struct FuzzFailure {
+  uint64_t seed = 0;
+  FuzzCase fuzz_case;
+  RecoveryConfig protocol;
+  FuzzVerdict verdict;
+};
+
+struct FuzzStats {
+  uint64_t cases = 0;
+  uint64_t runs = 0;
+  uint64_t shrink_runs = 0;
+  uint64_t crashes_fired = 0;
+  uint64_t crashes_skipped = 0;
+  uint64_t whole_machine_restarts = 0;
+  uint64_t committed = 0;
+};
+
+/// Randomized crash-schedule fuzzer with deterministic replay.
+///
+/// Each seed samples one scenario (SampleFuzzCase) and runs it through the
+/// Harness under every configured protocol; after every recovery and at
+/// quiescence the IfaChecker oracle compares the machine-visible state
+/// against ground truth. The IFA protocols must show zero violations and
+/// zero unnecessary aborts; the baselines act as oracles of expected-abort
+/// behavior (RebootAll must always whole-machine-restart). On failure the
+/// schedule is shrunk (greedy delta debugging over crash plans, node sets,
+/// plan attributes, workload sizes, and cadences) to a minimal reproducer,
+/// and a JSON replay document re-executes it bit-identically.
+class CrashScheduleFuzzer {
+ public:
+  struct Options {
+    /// Protocols every case runs under; defaults to DefaultProtocols().
+    std::vector<RecoveryConfig> protocols;
+    /// Fault injection: break undo tagging in every protocol run (see
+    /// RecoveryConfig::disable_undo_tagging). Used to prove the fuzzer
+    /// catches real violations.
+    bool disable_undo_tagging = false;
+    /// Upper bound on re-runs the shrinker may spend per failure.
+    size_t max_shrink_runs = 400;
+  };
+
+  /// The five IFA protocol variants plus the two baselines-as-oracles.
+  static std::vector<RecoveryConfig> DefaultProtocols();
+
+  CrashScheduleFuzzer() : CrashScheduleFuzzer(Options()) {}
+  explicit CrashScheduleFuzzer(Options opts);
+
+  /// Samples the seed's scenario and runs it under every protocol.
+  /// Returns the first failure, if any.
+  std::optional<FuzzFailure> RunSeed(uint64_t seed);
+
+  /// Runs one case under one protocol and applies the failure predicate.
+  FuzzVerdict RunCase(const FuzzCase& fuzz_case, RecoveryConfig protocol);
+
+  /// Delta-debugs the failing case to a (locally) minimal reproducer that
+  /// still fails under the failure's protocol.
+  FuzzCase Shrink(const FuzzFailure& failure);
+
+  /// Serializes a self-contained replay document for `failure` with the
+  /// shrunk case as the schedule to re-execute.
+  std::string ReplayJson(const FuzzFailure& failure,
+                         const FuzzCase& shrunk) const;
+
+  struct ReplayDoc {
+    uint64_t seed = 0;
+    FuzzCase fuzz_case;
+    RecoveryConfig protocol;
+    std::string recorded_kind;
+    std::string recorded_detail;
+  };
+  static Result<ReplayDoc> ParseReplay(const std::string& json_text);
+
+  const FuzzStats& stats() const { return stats_; }
+
+ private:
+  Options opts_;
+  FuzzStats stats_;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_FUZZ_FUZZER_H_

@@ -412,8 +412,13 @@ Status TxnManager::ApplyUndoIndexOp(NodeId performer, const LogRecord& rec,
                               /*log_clr=*/true);
   }
   if (!entry.has_value()) return Status::Ok();  // nothing left to unmark
-  return index_->UndoDelete(performer, rec.txn, op.key, nullptr,
-                            /*log_clr=*/true);
+  Status s = index_->UndoDelete(performer, rec.txn, op.key, nullptr,
+                                /*log_clr=*/true);
+  // An engaged chain being *resumed* (recovery re-undo) may land on a delete
+  // whose compensation already ran — the entry is live again and there is no
+  // tombstone left. Skipping it continues the chain at the next older record.
+  if (s.IsNotFound()) return Status::Ok();
+  return s;
 }
 
 Status TxnManager::Abort(Transaction* txn) {

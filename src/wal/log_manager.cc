@@ -10,6 +10,7 @@ LogManager::LogManager(Machine* machine, StableLogStore* stable)
   tails_.resize(n);
   next_lsn_.assign(n, 1);
   checkpoint_lsn_.assign(n, kInvalidLsn);
+  max_truncated_usn_.assign(n, 0);
 }
 
 Lsn LogManager::Append(NodeId node, LogRecord rec) {

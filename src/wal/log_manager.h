@@ -78,9 +78,31 @@ class LogManager {
   /// the safe point behind both the checkpoint and the oldest active
   /// transaction's first record. Returns # records dropped.
   size_t TruncateThrough(NodeId node, Lsn lsn) {
+    // Remember the highest update/index-op USN dropped from this node's
+    // log. A node's log is USN-monotone in LSN order, so recovery can tell
+    // a checkpoint-truncated record (usn at or below this mark: its
+    // transaction had finished, the stable database covers it) from one
+    // that only ever existed in a lost volatile tail (above the mark).
+    ForEachStable(node, [&](const LogRecord& rec) {
+      if (rec.lsn > lsn) return;
+      uint64_t usn = 0;
+      if (rec.type == LogRecordType::kUpdate) {
+        usn = rec.update().usn;
+      } else if (rec.type == LogRecordType::kIndexOp) {
+        usn = rec.index_op().usn;
+      } else if (rec.type == LogRecordType::kStructural) {
+        usn = rec.structural().usn;
+      }
+      if (usn > max_truncated_usn_[node]) max_truncated_usn_[node] = usn;
+    });
     size_t n = stable_->Truncate(node, lsn);
     stats_.truncated_records += n;
     return n;
+  }
+
+  /// Highest USN ever truncated from `node`'s stable log (0 if none).
+  uint64_t max_truncated_usn(NodeId node) const {
+    return max_truncated_usn_[node];
   }
 
   /// Hook fired after a successful force of `node`'s log (the Stable LBM
@@ -99,6 +121,7 @@ class LogManager {
   std::vector<std::deque<LogRecord>> tails_;
   std::vector<Lsn> next_lsn_;
   std::vector<Lsn> checkpoint_lsn_;
+  std::vector<uint64_t> max_truncated_usn_;
   std::vector<std::function<void(NodeId)>> force_hooks_;
   LogStats stats_;
 };

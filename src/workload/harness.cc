@@ -37,6 +37,7 @@ Status Harness::StealFlushOne() {
   if (dirty.empty()) return Status::Ok();
   PageId page = dirty[rng_.Uniform(dirty.size())];
   auto alive = db_->machine().AliveNodes();
+  if (alive.empty()) return Status::Ok();  // no node left to run the daemon
   NodeId node = alive[rng_.Uniform(alive.size())];
   Status s = db_->buffers().FlushPage(node, page);
   // A flush blocked by a crashed updater's unforced tail, or by a page
@@ -60,12 +61,24 @@ Result<HarnessReport> Harness::Run() {
     while (next_crash < config_.crashes.size() &&
            exec_->steps() >= config_.crashes[next_crash].at_step) {
       const CrashPlan& plan = config_.crashes[next_crash];
+      size_t plan_index = next_crash;
+      ++next_crash;
+      // Deduplicate the plan's node set (crashing a node twice in one plan
+      // is meaningless and must not reach OnCrash/Crash twice) and drop
+      // nodes that are already dead.
       std::vector<NodeId> to_crash;
       for (NodeId n : plan.nodes) {
-        if (db_->machine().NodeAlive(n)) to_crash.push_back(n);
+        if (db_->machine().NodeAlive(n) &&
+            std::find(to_crash.begin(), to_crash.end(), n) ==
+                to_crash.end()) {
+          to_crash.push_back(n);
+        }
       }
-      ++next_crash;
-      if (to_crash.empty()) continue;
+      if (to_crash.empty()) {
+        report.skipped_crashes.push_back(
+            {plan_index, plan, SkippedCrash::Reason::kTargetsAlreadyDead});
+        continue;
+      }
       for (NodeId n : to_crash) exec_->executor(n).OnCrash();
       SMDB_ASSIGN_OR_RETURN(RecoveryOutcome outcome, db_->Crash(to_crash));
       report.recoveries.push_back(outcome);
@@ -73,10 +86,21 @@ Result<HarnessReport> Harness::Run() {
         Status v = checker_->VerifyAll();
         if (!v.ok()) {
           report.verify_status = v;
+          // The remaining schedule never ran; record it so triage can tell
+          // which crashes this failing run actually contains.
+          for (size_t i = next_crash; i < config_.crashes.size(); ++i) {
+            report.skipped_crashes.push_back(
+                {i, config_.crashes[i], SkippedCrash::Reason::kNeverReached});
+          }
+          FillReport(&report);
           return report;
         }
       }
-      if (plan.restart_after) db_->RestartNodes(to_crash);
+      // A whole-machine failure already rebooted every node as part of
+      // recovery; restarting again would be a double restart.
+      if (plan.restart_after && !outcome.whole_machine_restart) {
+        db_->RestartNodes(to_crash);
+      }
     }
 
     if (!exec_->StepOnce()) break;
@@ -88,25 +112,38 @@ Result<HarnessReport> Harness::Run() {
     if (config_.checkpoint_every_steps > 0 &&
         exec_->steps() % config_.checkpoint_every_steps == 0) {
       auto alive = db_->machine().AliveNodes();
-      SMDB_RETURN_IF_ERROR(db_->Checkpoint(alive[0]));
+      if (!alive.empty()) {
+        SMDB_RETURN_IF_ERROR(db_->Checkpoint(alive[0]));
+      }
     }
+  }
+
+  // Plans scheduled past the workload's drain point (or past max_steps)
+  // silently never fire; record them so "survived N crashes" is honest.
+  for (; next_crash < config_.crashes.size(); ++next_crash) {
+    report.skipped_crashes.push_back({next_crash, config_.crashes[next_crash],
+                                      SkippedCrash::Reason::kNeverReached});
   }
 
   if (config_.verify) {
     report.verify_status = checker_->VerifyAll();
   }
 
-  report.exec = exec_->TotalStats();
-  report.machine = db_->machine().stats();
-  report.logs = db_->log().stats();
-  report.txns = db_->txn().stats();
-  report.locks = db_->locks().stats();
-  report.btree = db_->index().stats();
-  report.disk_reads = db_->stable_db().reads();
-  report.disk_writes = db_->stable_db().writes();
-  report.steps = exec_->steps();
-  report.total_time_ns = db_->machine().GlobalTime();
+  FillReport(&report);
   return report;
+}
+
+void Harness::FillReport(HarnessReport* report) {
+  report->exec = exec_->TotalStats();
+  report->machine = db_->machine().stats();
+  report->logs = db_->log().stats();
+  report->txns = db_->txn().stats();
+  report->locks = db_->locks().stats();
+  report->btree = db_->index().stats();
+  report->disk_reads = db_->stable_db().reads();
+  report->disk_writes = db_->stable_db().writes();
+  report->steps = exec_->steps();
+  report->total_time_ns = db_->machine().GlobalTime();
 }
 
 }  // namespace smdb

@@ -12,14 +12,6 @@
 
 namespace smdb {
 
-/// A crash injected at a global executor step.
-struct CrashPlan {
-  uint64_t at_step = 0;
-  std::vector<NodeId> nodes;
-  /// Bring the crashed nodes back (cold) right after recovery.
-  bool restart_after = false;
-};
-
 struct HarnessConfig {
   DatabaseConfig db;
   WorkloadSpec workload;
@@ -35,9 +27,25 @@ struct HarnessConfig {
   uint64_t seed = 99;
 };
 
+/// A crash plan that never fired, and why. The fuzzer needs this to tell
+/// "the protocol survived this crash" apart from "the crash never happened".
+struct SkippedCrash {
+  enum class Reason : uint8_t {
+    /// Every node the plan names was already dead when it came due.
+    kTargetsAlreadyDead,
+    /// The workload drained (or max_steps hit) before the plan's step.
+    kNeverReached,
+  };
+  /// Index into the (sorted-by-step) crash plan list.
+  size_t plan_index = 0;
+  CrashPlan plan;
+  Reason reason = Reason::kNeverReached;
+};
+
 struct HarnessReport {
   ExecutorStats exec;
   std::vector<RecoveryOutcome> recoveries;
+  std::vector<SkippedCrash> skipped_crashes;
   MachineStats machine;
   LogStats logs;
   TxnManagerStats txns;
@@ -86,6 +94,10 @@ class Harness {
 
  private:
   Status StealFlushOne();
+  /// Copies every subsystem's statistics into the report. Called on both
+  /// the normal exit and the verification-failure exit, so a failing run
+  /// still carries full diagnostics.
+  void FillReport(HarnessReport* report);
 
   HarnessConfig config_;
   std::unique_ptr<Database> db_;

@@ -1,0 +1,88 @@
+#include "workload/spec_json.h"
+
+namespace smdb {
+
+json::Value ToJson(const WorkloadSpec& spec) {
+  json::Value v = json::Value::Object();
+  v.Set("txns_per_node", json::Value::Uint(spec.txns_per_node));
+  v.Set("ops_per_txn", json::Value::Uint(spec.ops_per_txn));
+  v.Set("write_ratio", json::Value::Double(spec.write_ratio));
+  v.Set("index_op_ratio", json::Value::Double(spec.index_op_ratio));
+  v.Set("dirty_read_ratio", json::Value::Double(spec.dirty_read_ratio));
+  v.Set("zipf_theta", json::Value::Double(spec.zipf_theta));
+  v.Set("shared_fraction", json::Value::Double(spec.shared_fraction));
+  v.Set("voluntary_abort_ratio",
+        json::Value::Double(spec.voluntary_abort_ratio));
+  v.Set("index_key_space", json::Value::Uint(spec.index_key_space));
+  v.Set("seed", json::Value::Uint(spec.seed));
+  return v;
+}
+
+Result<WorkloadSpec> WorkloadSpecFromJson(const json::Value& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("workload spec: expected object");
+  }
+  WorkloadSpec defaults;
+  WorkloadSpec spec;
+  spec.txns_per_node = v.GetUint("txns_per_node", defaults.txns_per_node);
+  spec.ops_per_txn = v.GetUint("ops_per_txn", defaults.ops_per_txn);
+  spec.write_ratio = v.GetDouble("write_ratio", defaults.write_ratio);
+  spec.index_op_ratio = v.GetDouble("index_op_ratio", defaults.index_op_ratio);
+  spec.dirty_read_ratio =
+      v.GetDouble("dirty_read_ratio", defaults.dirty_read_ratio);
+  spec.zipf_theta = v.GetDouble("zipf_theta", defaults.zipf_theta);
+  spec.shared_fraction =
+      v.GetDouble("shared_fraction", defaults.shared_fraction);
+  spec.voluntary_abort_ratio =
+      v.GetDouble("voluntary_abort_ratio", defaults.voluntary_abort_ratio);
+  spec.index_key_space = v.GetUint("index_key_space", defaults.index_key_space);
+  spec.seed = v.GetUint("seed", defaults.seed);
+  return spec;
+}
+
+json::Value ToJson(const CrashPlan& plan) {
+  json::Value v = json::Value::Object();
+  v.Set("at_step", json::Value::Uint(plan.at_step));
+  json::Value nodes = json::Value::Array();
+  for (NodeId n : plan.nodes) nodes.Append(json::Value::Uint(n));
+  v.Set("nodes", std::move(nodes));
+  v.Set("restart_after", json::Value::Bool(plan.restart_after));
+  return v;
+}
+
+Result<CrashPlan> CrashPlanFromJson(const json::Value& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("crash plan: expected object");
+  }
+  CrashPlan plan;
+  plan.at_step = v.GetUint("at_step", 0);
+  plan.restart_after = v.GetBool("restart_after", false);
+  const json::Value* nodes = v.Find("nodes");
+  if (nodes == nullptr || !nodes->is_array() || nodes->array().empty()) {
+    return Status::InvalidArgument("crash plan: missing/empty nodes array");
+  }
+  for (const json::Value& n : nodes->array()) {
+    plan.nodes.push_back(static_cast<NodeId>(n.AsUint()));
+  }
+  return plan;
+}
+
+json::Value ToJson(const std::vector<CrashPlan>& plans) {
+  json::Value v = json::Value::Array();
+  for (const CrashPlan& plan : plans) v.Append(ToJson(plan));
+  return v;
+}
+
+Result<std::vector<CrashPlan>> CrashPlansFromJson(const json::Value& v) {
+  if (!v.is_array()) {
+    return Status::InvalidArgument("crash plans: expected array");
+  }
+  std::vector<CrashPlan> plans;
+  for (const json::Value& p : v.array()) {
+    SMDB_ASSIGN_OR_RETURN(CrashPlan plan, CrashPlanFromJson(p));
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+}  // namespace smdb

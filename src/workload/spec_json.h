@@ -1,0 +1,27 @@
+#ifndef SMDB_WORKLOAD_SPEC_JSON_H_
+#define SMDB_WORKLOAD_SPEC_JSON_H_
+
+#include <vector>
+
+#include "common/json.h"
+#include "workload/workload.h"
+
+namespace smdb {
+
+/// JSON round-trips for workload specs and crash plans. These are the
+/// building blocks of the fuzzer's replay files: a replay must rebuild the
+/// exact HarnessConfig (including 64-bit seeds, which the json layer keeps
+/// integral) so a recorded failure re-executes bit-identically.
+
+json::Value ToJson(const WorkloadSpec& spec);
+Result<WorkloadSpec> WorkloadSpecFromJson(const json::Value& v);
+
+json::Value ToJson(const CrashPlan& plan);
+Result<CrashPlan> CrashPlanFromJson(const json::Value& v);
+
+json::Value ToJson(const std::vector<CrashPlan>& plans);
+Result<std::vector<CrashPlan>> CrashPlansFromJson(const json::Value& v);
+
+}  // namespace smdb
+
+#endif  // SMDB_WORKLOAD_SPEC_JSON_H_

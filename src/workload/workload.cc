@@ -1,5 +1,7 @@
 #include "workload/workload.h"
 
+#include <algorithm>
+
 namespace smdb {
 
 WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec,
@@ -67,6 +69,44 @@ std::vector<std::vector<TxnScript>> WorkloadGenerator::Generate() {
     }
   }
   return out;
+}
+
+WorkloadSpec SampleWorkloadSpec(Rng& rng) {
+  WorkloadSpec spec;
+  spec.txns_per_node = rng.Range(4, 16);
+  spec.ops_per_txn = rng.Range(2, 8);
+  spec.write_ratio = 0.3 + 0.6 * rng.NextDouble();
+  spec.index_op_ratio = rng.Bernoulli(0.5) ? 0.3 * rng.NextDouble() : 0.0;
+  spec.dirty_read_ratio = rng.Bernoulli(0.25) ? 0.05 : 0.0;
+  spec.zipf_theta = rng.Bernoulli(0.3) ? 0.9 : 0.0;
+  spec.shared_fraction = rng.Bernoulli(0.75) ? 1.0 : 0.5;
+  spec.voluntary_abort_ratio = rng.Bernoulli(0.3) ? 0.1 : 0.0;
+  spec.index_key_space = 256;
+  spec.seed = rng.Next();
+  return spec;
+}
+
+std::vector<CrashPlan> SampleCrashPlans(Rng& rng, uint16_t num_nodes,
+                                        uint64_t horizon, size_t max_plans) {
+  std::vector<CrashPlan> plans(rng.Range(1, max_plans));
+  for (CrashPlan& plan : plans) {
+    // 5/4 of the horizon: some plans intentionally land past workload
+    // drain and must be reported as skipped, not silently dropped.
+    plan.at_step = rng.Range(1, horizon + horizon / 4);
+    if (rng.Bernoulli(0.08)) {
+      // Whole-machine failure: every node in one plan.
+      for (NodeId n = 0; n < num_nodes; ++n) plan.nodes.push_back(n);
+    } else {
+      uint64_t width = rng.Range(1, std::max<uint64_t>(1, num_nodes / 2));
+      for (uint64_t i = 0; i < width; ++i) {
+        // Sampling with replacement: duplicates are legal input (the
+        // harness dedupes) and keep that path exercised.
+        plan.nodes.push_back(static_cast<NodeId>(rng.Uniform(num_nodes)));
+      }
+    }
+    plan.restart_after = rng.Bernoulli(0.5);
+  }
+  return plans;
 }
 
 }  // namespace smdb

@@ -9,6 +9,14 @@
 
 namespace smdb {
 
+/// A crash injected at a global executor step.
+struct CrashPlan {
+  uint64_t at_step = 0;
+  std::vector<NodeId> nodes;
+  /// Bring the crashed nodes back (cold) right after recovery.
+  bool restart_after = false;
+};
+
 /// Parameters of a synthetic transaction workload. Defaults give a mixed
 /// read/update workload over a shared table — the access pattern whose
 /// cache-line sharing produces the paper's failure effects.
@@ -54,6 +62,24 @@ class WorkloadGenerator {
   Rng rng_;
   uint64_t next_key_ = 1;
 };
+
+// Randomization hooks (crash-schedule fuzzer) ---------------------------
+
+/// Samples a small randomized workload spec from `rng`: mixed sizes,
+/// write/index/dirty-read ratios, skew, sharing, and voluntary aborts.
+/// The spec's own seed is drawn from `rng`, so equal Rng states produce
+/// bit-identical workloads.
+WorkloadSpec SampleWorkloadSpec(Rng& rng);
+
+/// Samples a randomized crash schedule for a machine of `num_nodes`:
+/// 1..max_plans plans with random step offsets over ~1.25x `horizon`
+/// (deliberately including steps past workload drain), random node sets
+/// (occasionally every node — a whole-machine failure — and occasionally
+/// duplicated ids, which the harness must dedupe), and random
+/// crash-with-restart choices.
+std::vector<CrashPlan> SampleCrashPlans(Rng& rng, uint16_t num_nodes,
+                                        uint64_t horizon,
+                                        size_t max_plans = 4);
 
 /// Builds the two-transactions-one-cache-line scenario of section 3.1 /
 /// figure 2: records r1 and r2 share a cache line; t_x (node x) updates r1,

@@ -1,0 +1,102 @@
+// Smoke coverage for the crash-schedule fuzzer (src/fuzz/).
+//
+// Three properties are pinned down here:
+//   1. A batch of fixed seeds runs clean under every default protocol —
+//      the IFA variants show zero violations and zero unnecessary aborts,
+//      and the baselines honor their own contracts.
+//   2. The fuzzer is deterministic: equal seeds produce bit-identical
+//      cases and verdicts, which is what makes replay files trustworthy.
+//   3. Fault injection is actually detectable: disabling undo tagging
+//      under SelectiveRedo is caught within a small seed budget, shrinks
+//      to a tiny crash schedule, and the emitted replay document
+//      round-trips and reproduces the failure.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "fuzz/fuzzer.h"
+
+namespace smdb {
+namespace {
+
+TEST(FuzzSmoke, FixedSeedsRunCleanUnderAllProtocols) {
+  CrashScheduleFuzzer fuzzer;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    auto failure = fuzzer.RunSeed(seed);
+    ASSERT_FALSE(failure.has_value())
+        << "seed " << seed << " failed under "
+        << failure->protocol.Name() << ": [" << failure->verdict.kind
+        << "] " << failure->verdict.detail;
+  }
+  const FuzzStats& stats = fuzzer.stats();
+  EXPECT_EQ(stats.cases, 50u);
+  // 50 cases x 7 protocols.
+  EXPECT_EQ(stats.runs, 350u);
+  // The schedule sampler must actually exercise the failure model: crashes
+  // that fire, crashes that get skipped, and at least one crash-all.
+  EXPECT_GT(stats.crashes_fired, 0u);
+  EXPECT_GT(stats.crashes_skipped, 0u);
+  EXPECT_GT(stats.whole_machine_restarts, 0u);
+  EXPECT_GT(stats.committed, 0u);
+}
+
+TEST(FuzzSmoke, EqualSeedsAreBitIdentical) {
+  FuzzCase a = SampleFuzzCase(7);
+  FuzzCase b = SampleFuzzCase(7);
+  EXPECT_EQ(a.ToJson().Dump(), b.ToJson().Dump());
+
+  CrashScheduleFuzzer f1;
+  CrashScheduleFuzzer f2;
+  FuzzVerdict v1 = f1.RunCase(a, RecoveryConfig::VolatileSelectiveRedo());
+  FuzzVerdict v2 = f2.RunCase(b, RecoveryConfig::VolatileSelectiveRedo());
+  EXPECT_EQ(v1.failed, v2.failed);
+  EXPECT_EQ(v1.kind, v2.kind);
+  EXPECT_EQ(v1.detail, v2.detail);
+}
+
+TEST(FuzzSmoke, CaseJsonRoundTrips) {
+  FuzzCase original = SampleFuzzCase(12345);
+  auto parsed_doc = json::Value::Parse(original.ToJson().Dump(2));
+  ASSERT_TRUE(parsed_doc.ok()) << parsed_doc.status().ToString();
+  auto restored = FuzzCase::FromJson(*parsed_doc);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->ToJson().Dump(), original.ToJson().Dump());
+}
+
+TEST(FuzzSmoke, BrokenUndoTaggingIsCaughtShrunkAndReplayable) {
+  CrashScheduleFuzzer::Options opts;
+  opts.protocols = {RecoveryConfig::VolatileSelectiveRedo()};
+  opts.disable_undo_tagging = true;
+  CrashScheduleFuzzer fuzzer(opts);
+
+  std::optional<FuzzFailure> failure;
+  for (uint64_t seed = 0; seed < 60 && !failure.has_value(); ++seed) {
+    failure = fuzzer.RunSeed(seed);
+  }
+  ASSERT_TRUE(failure.has_value())
+      << "disabled undo tagging was not detected within 60 seeds";
+  EXPECT_EQ(failure->verdict.kind, "ifa-verify") << failure->verdict.detail;
+
+  FuzzCase shrunk = fuzzer.Shrink(*failure);
+  EXPECT_LE(shrunk.crashes.size(), 2u);
+  FuzzVerdict direct = fuzzer.RunCase(shrunk, failure->protocol);
+  EXPECT_TRUE(direct.failed) << "shrunk case no longer fails";
+
+  std::string replay_text = fuzzer.ReplayJson(*failure, shrunk);
+  auto doc = CrashScheduleFuzzer::ParseReplay(replay_text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->seed, failure->seed);
+  EXPECT_TRUE(doc->protocol.disable_undo_tagging);
+  EXPECT_EQ(doc->fuzz_case.ToJson().Dump(), shrunk.ToJson().Dump());
+
+  // Replaying the parsed document reproduces the direct run exactly.
+  FuzzVerdict replayed = fuzzer.RunCase(doc->fuzz_case, doc->protocol);
+  EXPECT_TRUE(replayed.failed);
+  EXPECT_EQ(replayed.kind, direct.kind);
+  EXPECT_EQ(replayed.detail, direct.detail);
+}
+
+}  // namespace
+}  // namespace smdb

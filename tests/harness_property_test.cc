@@ -150,6 +150,124 @@ TEST(IfaPropertyTestExtras, BaselineAbortDependentsAbortsSharers) {
   EXPECT_TRUE(report->verify_status.ok()) << report->verify_status.ToString();
 }
 
+// Regression: a crash plan that kills every node used to be rejected with
+// "no surviving nodes" (and, had it survived that, indexing the empty alive
+// set in the steal daemon / checkpoint branch was UB). It now runs as a
+// whole-machine restart, with the steal/checkpoint cadences active around
+// the crash.
+TEST(IfaPropertyTestExtras, CrashAllNodesIsWholeMachineRestart) {
+  for (auto rc : {RecoveryConfig::VolatileSelectiveRedo(),
+                  RecoveryConfig::VolatileRedoAll(),
+                  RecoveryConfig::BaselineRebootAll()}) {
+    HarnessConfig cfg;
+    cfg.db.machine.num_nodes = 4;
+    cfg.db.recovery = rc;
+    cfg.num_records = 64;
+    cfg.workload.txns_per_node = 10;
+    cfg.workload.ops_per_txn = 5;
+    cfg.workload.seed = 77;
+    cfg.steal_flush_prob = 0.05;
+    cfg.checkpoint_every_steps = 30;
+    cfg.crashes = {CrashPlan{40, {0, 1, 2, 3}, /*restart_after=*/false}};
+    Harness h(cfg);
+    auto report = h.Run();
+    ASSERT_TRUE(report.ok()) << rc.Name() << ": "
+                             << report.status().ToString();
+    EXPECT_TRUE(report->verify_status.ok())
+        << rc.Name() << ": " << report->verify_status.ToString();
+    ASSERT_EQ(report->recoveries.size(), 1u);
+    EXPECT_TRUE(report->recoveries[0].whole_machine_restart);
+    // Every active transaction was on a crashed node: annulled, never
+    // "unnecessarily aborted".
+    EXPECT_EQ(report->unnecessary_aborts(), 0u);
+    // The rebooted machine finishes the remaining workload.
+    EXPECT_GT(report->exec.committed, 0u);
+  }
+}
+
+// Regression: Harness::Run used to early-return an empty report when
+// post-recovery IFA verification failed, destroying exactly the
+// diagnostics a failing run needs. Poison the oracle so verification must
+// fail, then check the report still carries execution state.
+TEST(IfaPropertyTestExtras, VerifyFailureStillFillsReport) {
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = 4;
+  cfg.db.recovery = RecoveryConfig::VolatileSelectiveRedo();
+  cfg.num_records = 64;
+  cfg.workload.txns_per_node = 10;
+  cfg.workload.ops_per_txn = 6;
+  cfg.workload.seed = 99;
+  cfg.crashes = {CrashPlan{30, {1}, /*restart_after=*/false}};
+  Harness h(cfg);
+  ASSERT_TRUE(h.Setup().ok());
+  // A fabricated committed value the database never wrote: the first
+  // post-recovery VerifyAll must report an IFA violation.
+  const TxnId fake_txn = 0xFA4E;
+  h.checker().OnUpdate(fake_txn, h.table()[0],
+                       std::vector<uint8_t>(cfg.db.record_data_size, 0xEE));
+  h.checker().OnCommit(fake_txn);
+  auto report = h.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->verify_status.ok());
+  ASSERT_EQ(report->recoveries.size(), 1u);
+  // The report must carry diagnostics despite the failed verification.
+  EXPECT_GE(report->steps, 30u);
+  EXPECT_GT(report->exec.ops_executed, 0u);
+  EXPECT_GT(report->machine.node_crashes, 0u);
+  EXPECT_GT(report->total_time_ns, 0u);
+}
+
+// Regression: plans aimed at already-dead nodes or scheduled past workload
+// drain used to vanish silently; the report now records them, so a fuzzer
+// can tell "survived the crash" from "the crash never happened".
+TEST(IfaPropertyTestExtras, SkippedPlansAreRecorded) {
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = 4;
+  cfg.db.recovery = RecoveryConfig::VolatileSelectiveRedo();
+  cfg.num_records = 64;
+  cfg.workload.txns_per_node = 10;
+  cfg.workload.ops_per_txn = 5;
+  cfg.workload.seed = 123;
+  cfg.crashes = {
+      CrashPlan{30, {1}, /*restart_after=*/false},
+      CrashPlan{60, {1}, /*restart_after=*/false},       // node 1 already dead
+      CrashPlan{1'000'000, {0}, /*restart_after=*/false},  // beyond drain
+  };
+  Harness h(cfg);
+  auto report = h.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->verify_status.ok()) << report->verify_status.ToString();
+  ASSERT_EQ(report->recoveries.size(), 1u);
+  ASSERT_EQ(report->skipped_crashes.size(), 2u);
+  EXPECT_EQ(report->skipped_crashes[0].plan_index, 1u);
+  EXPECT_EQ(report->skipped_crashes[0].reason,
+            SkippedCrash::Reason::kTargetsAlreadyDead);
+  EXPECT_EQ(report->skipped_crashes[1].plan_index, 2u);
+  EXPECT_EQ(report->skipped_crashes[1].reason,
+            SkippedCrash::Reason::kNeverReached);
+  EXPECT_EQ(report->skipped_crashes[1].plan.at_step, 1'000'000u);
+}
+
+// Regression: duplicate node ids in one plan used to reach OnCrash and
+// Database::Crash once per duplicate.
+TEST(IfaPropertyTestExtras, DuplicateCrashNodesAreDeduped) {
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = 4;
+  cfg.db.recovery = RecoveryConfig::VolatileSelectiveRedo();
+  cfg.num_records = 64;
+  cfg.workload.txns_per_node = 10;
+  cfg.workload.ops_per_txn = 5;
+  cfg.workload.seed = 321;
+  cfg.crashes = {CrashPlan{50, {2, 2, 2}, /*restart_after=*/false}};
+  Harness h(cfg);
+  auto report = h.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->verify_status.ok()) << report->verify_status.ToString();
+  ASSERT_EQ(report->recoveries.size(), 1u);
+  EXPECT_EQ(report->recoveries[0].crashed_nodes, std::vector<NodeId>{2});
+  EXPECT_EQ(report->machine.node_crashes, 1u);
+}
+
 TEST(IfaPropertyTestExtras, NoCrashRunIsClean) {
   for (auto rc : {RecoveryConfig::VolatileSelectiveRedo(),
                   RecoveryConfig::StableEagerRedoAll()}) {

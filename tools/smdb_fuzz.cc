@@ -1,0 +1,239 @@
+// smdb_fuzz — randomized crash-schedule fuzzer with deterministic replay.
+//
+// Samples workload/crash-schedule scenarios from sequential seeds, runs
+// each through the harness under every protocol, and checks the IFA oracle
+// after every recovery. On failure it shrinks the schedule to a minimal
+// reproducer and writes a JSON replay file.
+//
+// Examples:
+//   smdb_fuzz --seeds=200
+//   smdb_fuzz --seeds=50 --protocol=volatile-selective --break=no-undo-tags
+//   smdb_fuzz --replay=smdb_fuzz_failure.json
+//
+// Exit codes: 0 clean · 1 usage/IO error · 2 failure found (replay file
+// written) · in --replay mode: 0 the recorded failure reproduces, 3 it
+// does not (determinism broken).
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+
+namespace smdb {
+namespace {
+
+struct Flags {
+  uint64_t seeds = 100;
+  uint64_t seed_start = 0;
+  std::vector<RecoveryConfig> protocols;
+  bool break_undo_tags = false;
+  bool shrink = true;
+  bool verbose = false;
+  std::string out_path = "smdb_fuzz_failure.json";
+  std::string replay_path;
+};
+
+void Usage() {
+  std::printf(
+      "usage: smdb_fuzz [flags]\n"
+      "  --seeds=N             number of sequential seeds to run (default "
+      "100)\n"
+      "  --seed-start=N        first seed (default 0)\n"
+      "  --protocol=P          restrict to one protocol (repeatable):\n"
+      "                        volatile-selective | volatile-redoall |\n"
+      "                        stable-eager | stable-triggered |\n"
+      "                        stable-triggered-selective | reboot-all |\n"
+      "                        abort-dependents   (default: all)\n"
+      "  --break=no-undo-tags  fault injection: disable undo tagging\n"
+      "  --no-shrink           keep the original failing schedule\n"
+      "  --out=FILE            replay file path (default "
+      "smdb_fuzz_failure.json)\n"
+      "  --replay=FILE         re-execute a replay file instead of fuzzing\n"
+      "  --verbose             per-seed progress\n");
+}
+
+bool TakesValue(const std::string& key) {
+  return key == "--seeds" || key == "--seed-start" || key == "--protocol" ||
+         key == "--break" || key == "--out" || key == "--replay";
+}
+
+bool ParseUint(const std::string& val, uint64_t* out) {
+  // strtoull accepts "-3" (wrapping to 2^64-3) and leading whitespace;
+  // insist on a plain digit string.
+  if (val.empty() || val[0] < '0' || val[0] > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  uint64_t v = std::strtoull(val.c_str(), &end, 10);
+  if (errno != 0 || end != val.c_str() + val.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseFlag(Flags& f, const std::string& key, const std::string& val) {
+  if (key == "--seeds") {
+    if (!ParseUint(val, &f.seeds)) return false;
+  } else if (key == "--seed-start") {
+    if (!ParseUint(val, &f.seed_start)) return false;
+  } else if (key == "--protocol") {
+    RecoveryConfig rc;
+    if (!RecoveryConfig::FromFlagName(val, &rc)) return false;
+    f.protocols.push_back(rc);
+  } else if (key == "--break") {
+    if (val != "no-undo-tags") return false;
+    f.break_undo_tags = true;
+  } else if (key == "--no-shrink") {
+    f.shrink = false;
+  } else if (key == "--out") {
+    f.out_path = val;
+  } else if (key == "--replay") {
+    f.replay_path = val;
+  } else if (key == "--verbose") {
+    f.verbose = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void PrintStats(const FuzzStats& s) {
+  std::printf(
+      "cases %llu · runs %llu (+%llu shrink) · crashes fired %llu, "
+      "skipped %llu · whole-machine restarts %llu · txns committed %llu\n",
+      static_cast<unsigned long long>(s.cases),
+      static_cast<unsigned long long>(s.runs),
+      static_cast<unsigned long long>(s.shrink_runs),
+      static_cast<unsigned long long>(s.crashes_fired),
+      static_cast<unsigned long long>(s.crashes_skipped),
+      static_cast<unsigned long long>(s.whole_machine_restarts),
+      static_cast<unsigned long long>(s.committed));
+}
+
+int Replay(const Flags& flags) {
+  std::ifstream in(flags.replay_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", flags.replay_path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto doc = CrashScheduleFuzzer::ParseReplay(buf.str());
+  if (!doc.ok()) {
+    std::fprintf(stderr, "bad replay file: %s\n",
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("replaying seed %llu under %s%s\n",
+              static_cast<unsigned long long>(doc->seed),
+              doc->protocol.Name().c_str(),
+              doc->recorded_kind.empty()
+                  ? ""
+                  : (" (recorded: " + doc->recorded_kind + ")").c_str());
+  if (flags.verbose) {
+    // Re-run through the harness directly to show what each recovery did.
+    Harness h(MakeHarnessConfig(doc->fuzz_case, doc->protocol));
+    auto report = h.Run();
+    if (report.ok()) {
+      for (const auto& rec : report->recoveries) {
+        std::printf("  recovery: %s\n", rec.ToString().c_str());
+      }
+      std::printf("  verify: %s\n", report->verify_status.ToString().c_str());
+      std::printf("  committed=%llu aborted=%llu unnecessary=%llu\n",
+                  static_cast<unsigned long long>(report->exec.committed),
+                  static_cast<unsigned long long>(report->exec.aborted_deadlock +
+                                                  report->exec.aborted_other),
+                  static_cast<unsigned long long>(report->unnecessary_aborts()));
+    } else {
+      std::printf("  run error: %s\n", report.status().ToString().c_str());
+    }
+  }
+  CrashScheduleFuzzer fuzzer;
+  FuzzVerdict verdict = fuzzer.RunCase(doc->fuzz_case, doc->protocol);
+  if (verdict.failed) {
+    std::printf("reproduced: [%s] %s\n", verdict.kind.c_str(),
+                verdict.detail.c_str());
+    return 0;
+  }
+  std::printf("did NOT reproduce — run was clean\n");
+  return 3;
+}
+
+int Fuzz(const Flags& flags) {
+  CrashScheduleFuzzer::Options opts;
+  opts.protocols = flags.protocols;  // empty = defaults
+  opts.disable_undo_tagging = flags.break_undo_tags;
+  CrashScheduleFuzzer fuzzer(opts);
+
+  for (uint64_t seed = flags.seed_start;
+       seed < flags.seed_start + flags.seeds; ++seed) {
+    auto failure = fuzzer.RunSeed(seed);
+    if (flags.verbose && !failure) {
+      std::printf("seed %llu ok\n", static_cast<unsigned long long>(seed));
+    }
+    if (!failure) continue;
+
+    std::printf("seed %llu FAILED under %s: [%s] %s\n",
+                static_cast<unsigned long long>(seed),
+                failure->protocol.Name().c_str(),
+                failure->verdict.kind.c_str(),
+                failure->verdict.detail.c_str());
+    FuzzCase shrunk = failure->fuzz_case;
+    if (flags.shrink) {
+      shrunk = fuzzer.Shrink(*failure);
+      std::printf("shrunk: %zu crash plan(s), %zu txns/node x %zu ops\n",
+                  shrunk.crashes.size(), shrunk.workload.txns_per_node,
+                  shrunk.workload.ops_per_txn);
+    }
+    std::string replay = fuzzer.ReplayJson(*failure, shrunk);
+    std::ofstream out(flags.out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", flags.out_path.c_str());
+      return 1;
+    }
+    out << replay;
+    out.close();
+    std::printf("replay file written to %s — re-run with --replay=%s\n",
+                flags.out_path.c_str(), flags.out_path.c_str());
+    PrintStats(fuzzer.stats());
+    return 2;
+  }
+  std::printf("all %llu seeds clean under %zu protocol(s)\n",
+              static_cast<unsigned long long>(flags.seeds),
+              opts.protocols.empty()
+                  ? CrashScheduleFuzzer::DefaultProtocols().size()
+                  : opts.protocols.size());
+  PrintStats(fuzzer.stats());
+  return 0;
+}
+
+}  // namespace
+}  // namespace smdb
+
+int main(int argc, char** argv) {
+  smdb::Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      smdb::Usage();
+      return 0;
+    }
+    // Both --flag=value and --flag value spellings are accepted.
+    auto eq = arg.find('=');
+    std::string key = arg.substr(0, eq);
+    std::string val = eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (eq == std::string::npos && smdb::TakesValue(key) && i + 1 < argc) {
+      val = argv[++i];
+    }
+    if (!smdb::ParseFlag(flags, key, val)) {
+      std::fprintf(stderr, "bad flag: %s\n\n", arg.c_str());
+      smdb::Usage();
+      return 1;
+    }
+  }
+  if (!flags.replay_path.empty()) return smdb::Replay(flags);
+  return smdb::Fuzz(flags);
+}

@@ -22,27 +22,6 @@ struct Flags {
   bool verbose = false;
 };
 
-bool ParseProtocol(const std::string& v, RecoveryConfig* out) {
-  if (v == "volatile-selective") {
-    *out = RecoveryConfig::VolatileSelectiveRedo();
-  } else if (v == "volatile-redoall") {
-    *out = RecoveryConfig::VolatileRedoAll();
-  } else if (v == "stable-eager") {
-    *out = RecoveryConfig::StableEagerRedoAll();
-  } else if (v == "stable-triggered") {
-    *out = RecoveryConfig::StableTriggeredRedoAll();
-  } else if (v == "stable-triggered-selective") {
-    *out = RecoveryConfig::StableTriggeredSelectiveRedo();
-  } else if (v == "reboot-all") {
-    *out = RecoveryConfig::BaselineRebootAll();
-  } else if (v == "abort-dependents") {
-    *out = RecoveryConfig::BaselineAbortDependents();
-  } else {
-    return false;
-  }
-  return true;
-}
-
 void Usage() {
   std::printf(
       "usage: smdb_run [flags]\n"
@@ -81,7 +60,7 @@ bool ParseFlag(Flags& f, const std::string& arg) {
   if (key == "--nodes") {
     cfg.db.machine.num_nodes = static_cast<uint16_t>(std::stoul(val));
   } else if (key == "--protocol") {
-    if (!ParseProtocol(val, &cfg.db.recovery)) return false;
+    if (!RecoveryConfig::FromFlagName(val, &cfg.db.recovery)) return false;
   } else if (key == "--coherence") {
     if (val == "broadcast") {
       cfg.db.machine.coherence = CoherenceKind::kWriteBroadcast;
