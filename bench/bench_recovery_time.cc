@@ -7,8 +7,20 @@
 //
 // Sweep the amount of work performed before the crash and report recovery
 // time, redo operations applied/skipped, and pages reloaded from disk.
+//
+// Experiment R1b — parallel partitioned recovery: sweep the
+// recovery_threads knob on a multi-node crash with a redo-heavy history
+// and report recovery time per worker-stream count. Partitioning the redo
+// pass by page (and undo by key) keeps each stream's line traffic
+// disjoint, so the line-lock grant chains and header-line transfers that
+// serialise the one-stream pipeline fan out over the survivors' clocks.
+// Results (and speedups vs serial) are written to
+// BENCH_recovery_parallel.json.
+
+#include <fstream>
 
 #include "bench/bench_util.h"
+#include "common/json.h"
 
 namespace smdb::bench {
 namespace {
@@ -53,7 +65,96 @@ void Run() {
       " penalty and re-reads\neverything).\n");
 }
 
+/// Redo-heavy multi-node crash workload for the threads sweep: a long
+/// update-dominated history with no steal flushes, so almost all of it must
+/// be redone from the logs, and a two-node crash late in the run.
+HarnessConfig ParallelSweepConfig(RecoveryConfig rc, uint32_t threads) {
+  HarnessConfig cfg = StandardConfig(rc, /*nodes=*/8, /*seed=*/777);
+  cfg.db.recovery.recovery_threads = threads;
+  cfg.num_records = 256;
+  cfg.workload.txns_per_node = 500;
+  cfg.workload.ops_per_txn = 10;
+  cfg.workload.write_ratio = 0.9;
+  cfg.workload.index_op_ratio = 0.1;
+  // No steal flushes: the stable database stays at its checkpoint image,
+  // so every committed update must be redone from the logs — recovery is
+  // redo-bound, which is the case the partitioned streams target (the page
+  // reload cost is a fixed floor that is already survivor-parallel).
+  cfg.steal_flush_prob = 0.0;
+  // A two-node crash late in a long update-heavy history.
+  cfg.crashes = {CrashPlan{500 * 10 * 8 * 3 / 4, {2, 3},
+                           /*restart_after=*/false}};
+  return cfg;
+}
+
+void RunParallelSweep() {
+  Header("Parallel partitioned recovery: threads vs recovery time",
+         "parallel recovery pipeline (recovery_threads knob), multi-node "
+         "crash");
+  Row({"protocol", "threads", "recovery time", "speedup", "redo applied",
+       "tag undos"},
+      20);
+
+  json::Value doc = json::Value::Object();
+  doc.Set("bench", json::Value::Str("recovery_parallel"));
+  doc.Set("nodes", json::Value::Uint(8));
+  doc.Set("crashed_nodes", json::Value::Uint(2));
+  json::Value series = json::Value::Array();
+
+  for (auto rc : {RecoveryConfig::VolatileRedoAll(),
+                  RecoveryConfig::VolatileSelectiveRedo()}) {
+    SimTime serial_ns = 0;
+    json::Value sweep = json::Value::Array();
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      Harness h(ParallelSweepConfig(rc, threads));
+      HarnessReport r = MustRun(h);
+      if (r.recoveries.empty()) {
+        Row({rc.Name(), std::to_string(threads), "(no recovery fired)"}, 20);
+        continue;
+      }
+      const RecoveryOutcome& o = r.recoveries[0];
+      if (threads == 1) serial_ns = o.recovery_time_ns;
+      double speedup = o.recovery_time_ns == 0
+                           ? 0.0
+                           : double(serial_ns) / double(o.recovery_time_ns);
+      Row({rc.Name(), std::to_string(threads), FmtMs(o.recovery_time_ns),
+           Fmt(speedup) + "x", std::to_string(o.redo_applied),
+           std::to_string(o.tag_undos)},
+          20);
+      json::Value pt = json::Value::Object();
+      pt.Set("threads", json::Value::Uint(threads));
+      pt.Set("recovery_time_ns", json::Value::Uint(o.recovery_time_ns));
+      pt.Set("speedup_vs_serial", json::Value::Double(speedup));
+      pt.Set("redo_applied", json::Value::Uint(o.redo_applied));
+      pt.Set("redo_skipped", json::Value::Uint(o.redo_skipped));
+      pt.Set("undo_applied", json::Value::Uint(o.undo_applied));
+      sweep.Append(std::move(pt));
+    }
+    json::Value entry = json::Value::Object();
+    entry.Set("protocol", json::Value::Str(rc.Name()));
+    entry.Set("sweep", std::move(sweep));
+    series.Append(std::move(entry));
+    std::printf("\n");
+  }
+  doc.Set("series", std::move(series));
+
+  std::ofstream out("BENCH_recovery_parallel.json");
+  if (out) {
+    out << doc.Dump(2) << "\n";
+    std::printf("wrote BENCH_recovery_parallel.json\n");
+  }
+  std::printf(
+      "shape check: same redo/undo counts at every thread count (the work\n"
+      "is identical; only its partitioning changes), recovery time falling\n"
+      "as streams stop contending on line locks and header lines; the\n"
+      "differential test matrix (ctest -L parallel) proves the recovered\n"
+      "state is bit-identical across the sweep.\n");
+}
+
 }  // namespace
 }  // namespace smdb::bench
 
-int main() { smdb::bench::Run(); }
+int main() {
+  smdb::bench::Run();
+  smdb::bench::RunParallelSweep();
+}

@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+namespace smdb {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers < 1) workers = 1;
+  queues_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(workers - 1);
+  for (unsigned i = 1; i < workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::FindTask(size_t slot, uint64_t gen, size_t* out) {
+  {
+    Queue& own = *queues_[slot];
+    std::lock_guard<std::mutex> lk(own.mu);
+    if (!own.items.empty() && own.items.back().gen == gen) {
+      *out = own.items.back().index;
+      own.items.pop_back();
+      return true;
+    }
+  }
+  // Steal from the front of the other queues (oldest first, so a stolen
+  // chunk is far from where the owner is working).
+  for (size_t k = 1; k < queues_.size(); ++k) {
+    Queue& victim = *queues_[(slot + k) % queues_.size()];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (!victim.items.empty() && victim.items.front().gen == gen) {
+      *out = victim.items.front().index;
+      victim.items.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::Drain(size_t slot, uint64_t gen,
+                       const std::function<void(size_t)>* fn) {
+  // fn is dereferenced only after FindTask succeeds: a generation-`gen`
+  // item still being queued proves that generation's ParallelFor has not
+  // returned, so the function object it points to is alive.
+  size_t task = 0;
+  while (FindTask(slot, gen, &task)) {
+    (*fn)(task);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t slot) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    Drain(slot, seen, job);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (queues_.size() <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // The caller is the only writer of generation_, so this unlocked read of
+  // its own last write is safe. Items are tagged and enqueued before the
+  // generation becomes visible: workers woken by the bump find their work
+  // already queued, while stragglers from the previous generation skip the
+  // new tags (see Item).
+  const uint64_t gen = generation_ + 1;
+  // Distribute round-robin across the slots; stealing rebalances at run
+  // time, so the initial placement only matters for locality.
+  for (size_t i = 0; i < n; ++i) {
+    Queue& q = *queues_[i % queues_.size()];
+    std::lock_guard<std::mutex> lk(q.mu);
+    q.items.push_back(Item{gen, i});
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    pending_ = n;
+    generation_ = gen;
+  }
+  work_cv_.notify_all();
+  Drain(0, gen, &fn);
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return pending_ == 0; });
+}
+
+}  // namespace smdb

@@ -92,6 +92,13 @@ class Database {
   RecoveryManager& recovery() { return *recovery_; }
   const DatabaseConfig& config() const { return config_; }
 
+  /// Worker streams for subsequent restart recoveries (1 = serial). The
+  /// knob only affects how recovery work is partitioned, never the
+  /// recovered state — the differential tests assert exactly that.
+  void SetRecoveryThreads(uint32_t threads) {
+    config_.recovery.recovery_threads = threads == 0 ? 1 : threads;
+  }
+
  private:
   DatabaseConfig config_;
   UsnSource usn_;

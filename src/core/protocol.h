@@ -55,6 +55,17 @@ struct RecoveryConfig {
   /// nested top-level actions (Table 1 row 1; required for IFA).
   bool early_commit_structural = true;
 
+  /// Worker streams for the partitioned parallel recovery pipeline. 1 (the
+  /// default) is the serial path with today's exact behaviour. N > 1 runs
+  /// restart recovery as N deterministic worker streams: log scans fan out
+  /// over a host-side work-stealing thread pool, and the redo/undo passes
+  /// partition their work by page (heap) and key (index) so each stream's
+  /// line traffic stays disjoint — the simulated recovery time shrinks
+  /// accordingly. Orthogonal to protocol identity: FlagName()/presets
+  /// ignore it, and the recovered machine state is bit-identical to the
+  /// serial run (see tests/recovery_equivalence_test.cc).
+  uint32_t recovery_threads = 1;
+
   /// Fault injection: suppress undo tags even when the restart scheme
   /// depends on them. This breaks IFA by construction (a crashed node's
   /// migrated update survives untagged in a remote cache and never gets

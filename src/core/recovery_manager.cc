@@ -33,6 +33,65 @@ std::string RecoveryOutcome::ToString() const {
 
 RecoveryManager::RecoveryManager(Database* db) : db_(db) {}
 
+namespace {
+
+/// splitmix64 finaliser: spreads index keys across worker streams.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t KeyPartition(const IndexOpPayload& op) {
+  return Mix64(op.key ^ (uint64_t{op.tree_id} << 32));
+}
+
+/// Pins worker stream i to survivors[i % survivors]: with W <= survivors
+/// each stream owns a distinct node clock; with W > survivors the extra
+/// streams share performers (the simulator has no more parallelism to
+/// give, but determinism is preserved).
+void PinStreams(std::vector<NodeId>* streams, uint32_t threads,
+                const std::vector<NodeId>& survivors) {
+  streams->clear();
+  for (uint32_t i = 0; i < threads; ++i) {
+    streams->push_back(survivors[i % survivors.size()]);
+  }
+}
+
+}  // namespace
+
+void RecoveryManager::ForEachNodeParallel(
+    const Ctx& ctx, const std::function<void(NodeId)>& fn) {
+  const uint16_t n = db_->machine().num_nodes();
+  if (ctx.threads <= 1 || pool_ == nullptr) {
+    for (NodeId i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool_->ParallelFor(n, [&](size_t i) { fn(static_cast<NodeId>(i)); });
+}
+
+NodeId RecoveryManager::RedoPerformer(Ctx& ctx, const LogRecord& rec) {
+  if (ctx.threads <= 1) {
+    // Legacy serial rule: a surviving node replays its own records.
+    return db_->machine().NodeAlive(rec.node) ? rec.node : ctx.NextSurvivor();
+  }
+  if (rec.type == LogRecordType::kUpdate) {
+    return ctx.StreamPerformer(rec.update().rid.page);
+  }
+  return ctx.StreamPerformer(KeyPartition(rec.index_op()));
+}
+
+NodeId RecoveryManager::UndoPerformer(Ctx& ctx, const LogRecord& rec) {
+  if (ctx.threads <= 1) return ctx.NextSurvivor();
+  if (rec.type == LogRecordType::kUpdate) {
+    return ctx.StreamPerformer(rec.update().rid.page);
+  }
+  return ctx.StreamPerformer(KeyPartition(rec.index_op()));
+}
+
 bool RecoveryManager::CommittedInStableLog(TxnId txn) const {
   bool committed = false;
   db_->log().ForEachStable(TxnNode(txn), [&](const LogRecord& rec) {
@@ -86,7 +145,14 @@ Status RecoveryManager::BuildContext(const std::vector<NodeId>& crashed,
   // transaction's node crashed (or crashed and restarted), and the
   // compensations a previous recovery wrote for it are themselves volatile
   // until flushed or forced.
-  for (NodeId c = 0; c < db_->machine().num_nodes(); ++c) {
+  // The per-node log analysis fans out over the pool when recovery_threads
+  // > 1 — each task reads one node's logs into its own slot (host-side
+  // only), and the final set unions are sequential and order-independent,
+  // so the classification is identical to the serial scan.
+  const uint16_t num_nodes = db_->machine().num_nodes();
+  std::vector<std::set<TxnId>> node_volatile_finished(num_nodes);
+  std::vector<std::set<TxnId>> node_uncommitted(num_nodes);
+  ForEachNodeParallel(*ctx, [&](NodeId c) {
     std::set<TxnId> begun, finished;
     db_->log().ForEachStable(c, [&](const LogRecord& rec) {
       if (rec.txn == kInvalidTxn) return;
@@ -116,11 +182,17 @@ Status RecoveryManager::BuildContext(const std::vector<NodeId>& crashed,
     for (TxnId t : begun) {
       if (finished.contains(t)) continue;
       if (tail_finished.contains(t)) {
-        ctx->volatile_finished.insert(t);
+        node_volatile_finished[c].insert(t);
       } else {
-        ctx->uncommitted_ids.insert(t);
+        node_uncommitted[c].insert(t);
       }
     }
+  });
+  for (NodeId c = 0; c < num_nodes; ++c) {
+    ctx->volatile_finished.insert(node_volatile_finished[c].begin(),
+                                  node_volatile_finished[c].end());
+    ctx->uncommitted_ids.insert(node_uncommitted[c].begin(),
+                                node_uncommitted[c].end());
   }
   return Status::Ok();
 }
@@ -219,21 +291,36 @@ Status RecoveryManager::ReplayLogsWithGuard(Ctx& ctx) {
   // dropped. Strict 2PL makes USN order consistent with the original
   // execution order on every object, so a single sorted pass repeats
   // history exactly.
-  std::vector<LogRecord> records;
-  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+  // The collection is partitioned by log: one task per node-log, each
+  // filling its own slot (log scans are pure host-side reads — the
+  // simulator is never touched from pool threads). Each node's log is
+  // USN-monotone in LSN order, so the slots are pre-sorted runs and the
+  // global sort below is effectively the deterministic k-way merge of the
+  // per-node streams; its result is independent of scan scheduling.
+  std::vector<std::vector<LogRecord>> per_node(m.num_nodes());
+  ForEachNodeParallel(ctx, [&](NodeId n) {
     Lsn start = db_->log().checkpoint_lsn(n);
     auto visit = [&](const LogRecord& rec) {
       if (rec.lsn <= start && start != kInvalidLsn) return;
       if (rec.type == LogRecordType::kUpdate ||
           rec.type == LogRecordType::kIndexOp ||
           rec.type == LogRecordType::kStructural) {
-        records.push_back(rec);
+        per_node[n].push_back(rec);
       }
     };
     if (m.NodeAlive(n)) {
       db_->log().ForEachAll(n, visit);
     } else {
       db_->log().ForEachStable(n, visit);
+    }
+  });
+  std::vector<LogRecord> records;
+  {
+    size_t total = 0;
+    for (const auto& v : per_node) total += v.size();
+    records.reserve(total);
+    for (auto& v : per_node) {
+      records.insert(records.end(), v.begin(), v.end());
     }
   }
   auto usn_of = [](const LogRecord& rec) {
@@ -243,6 +330,7 @@ Status RecoveryManager::ReplayLogsWithGuard(Ctx& ctx) {
       default: return rec.structural().usn;
     }
   };
+  // USNs are globally unique, so this order is total and deterministic.
   std::sort(records.begin(), records.end(),
             [&](const LogRecord& a, const LogRecord& b) {
               return usn_of(a) < usn_of(b);
@@ -256,9 +344,14 @@ Status RecoveryManager::ReplayLogsWithGuard(Ctx& ctx) {
     if (rec.type != LogRecordType::kStructural) continue;
     SMDB_RETURN_IF_ERROR(ApplyRedoStructural(ctx, ctx.NextSurvivor(), rec));
   }
+  // Entry-level replay stays in global USN order regardless of thread
+  // count (the partitioned streams change *who* performs each record, not
+  // *when*): same-page records replay in USN order by construction, and the
+  // applied/skipped decisions — which depend only on coherent page state,
+  // not on the performer — are identical across worker counts.
   for (const LogRecord& rec : records) {
     if (rec.type == LogRecordType::kStructural) continue;
-    NodeId performer = m.NodeAlive(rec.node) ? rec.node : ctx.NextSurvivor();
+    NodeId performer = RedoPerformer(ctx, rec);
     if (rec.type == LogRecordType::kUpdate) {
       SMDB_RETURN_IF_ERROR(ApplyRedoUpdate(ctx, performer, rec));
     } else {
@@ -276,18 +369,27 @@ Status RecoveryManager::UndoCrashedFromStableLogs(Ctx& ctx) {
   // over from earlier crashes whose compensations were since lost; the
   // engagement guard in ApplyUndo* turns already-compensated records into
   // no-ops, so re-undoing is safe.
-  std::vector<LogRecord> to_undo;
-  for (NodeId c = 0; c < db_->machine().num_nodes(); ++c) {
+  // Partitioned by stable log: one scan task per node, merged below. The
+  // reverse-USN sort restores a single deterministic order (USNs are
+  // globally unique), so the undo schedule is identical across thread
+  // counts.
+  std::vector<std::vector<LogRecord>> undo_per_node(
+      db_->machine().num_nodes());
+  ForEachNodeParallel(ctx, [&](NodeId c) {
     db_->log().ForEachStable(c, [&](const LogRecord& rec) {
       if (!ctx.uncommitted_ids.contains(rec.txn)) return;
       if (ctx.preserved_ids.contains(rec.txn)) return;
       if (rec.type == LogRecordType::kUpdate && !rec.update().is_clr) {
-        to_undo.push_back(rec);
+        undo_per_node[c].push_back(rec);
       } else if (rec.type == LogRecordType::kIndexOp &&
                  !rec.index_op().is_clr) {
-        to_undo.push_back(rec);
+        undo_per_node[c].push_back(rec);
       }
     });
+  });
+  std::vector<LogRecord> to_undo;
+  for (auto& v : undo_per_node) {
+    to_undo.insert(to_undo.end(), v.begin(), v.end());
   }
   std::sort(to_undo.begin(), to_undo.end(),
             [](const LogRecord& a, const LogRecord& b) {
@@ -316,15 +418,23 @@ Status RecoveryManager::UndoCrashedFromStableLogs(Ctx& ctx) {
   std::map<uint64_t, std::pair<TxnId, std::pair<uint32_t, uint64_t>>>
       clr_keys;
   Machine& m = db_->machine();
-  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+  // Per-node CLR maps filled in parallel, then merged. USNs are globally
+  // unique, so the per-node maps are disjoint and the merge order is
+  // irrelevant.
+  std::vector<std::map<uint64_t, std::pair<TxnId, RecordId>>> node_clr_slots(
+      m.num_nodes());
+  std::vector<std::map<uint64_t, std::pair<TxnId, std::pair<uint32_t,
+                                                            uint64_t>>>>
+      node_clr_keys(m.num_nodes());
+  ForEachNodeParallel(ctx, [&](NodeId n) {
     auto visit = [&](const LogRecord& rec) {
       if (!undo_txns.contains(rec.txn)) return;
       if (rec.type == LogRecordType::kUpdate && rec.update().is_clr) {
-        clr_slots[rec.update().usn] = {rec.txn, rec.update().rid};
+        node_clr_slots[n][rec.update().usn] = {rec.txn, rec.update().rid};
       } else if (rec.type == LogRecordType::kIndexOp &&
                  rec.index_op().is_clr) {
         const IndexOpPayload& op = rec.index_op();
-        clr_keys[op.usn] = {rec.txn, {op.tree_id, op.key}};
+        node_clr_keys[n][op.usn] = {rec.txn, {op.tree_id, op.key}};
       }
     };
     if (m.NodeAlive(n)) {
@@ -332,6 +442,10 @@ Status RecoveryManager::UndoCrashedFromStableLogs(Ctx& ctx) {
     } else {
       db_->log().ForEachStable(n, visit);
     }
+  });
+  for (NodeId n = 0; n < m.num_nodes(); ++n) {
+    clr_slots.merge(node_clr_slots[n]);
+    clr_keys.merge(node_clr_keys[n]);
   }
 
   TxnManager::UndoEngagement eng;
@@ -341,8 +455,8 @@ Status RecoveryManager::UndoCrashedFromStableLogs(Ctx& ctx) {
     if (rec.type == LogRecordType::kUpdate) {
       RecordId rid = rec.update().rid;
       if (!seeded_rids.insert(rid).second) continue;
-      SMDB_ASSIGN_OR_RETURN(SlotImage cur,
-                            db_->records().ReadSlot(ctx.NextSurvivor(), rid));
+      SMDB_ASSIGN_OR_RETURN(
+          SlotImage cur, db_->records().ReadSlot(UndoPerformer(ctx, rec), rid));
       auto it = clr_slots.find(cur.usn);
       if (it != clr_slots.end() && it->second.second == rid) {
         eng.records[rid] = it->second.first;
@@ -351,8 +465,8 @@ Status RecoveryManager::UndoCrashedFromStableLogs(Ctx& ctx) {
       const IndexOpPayload& op = rec.index_op();
       std::pair<uint32_t, uint64_t> key{op.tree_id, op.key};
       if (!seeded_keys.insert(key).second) continue;
-      SMDB_ASSIGN_OR_RETURN(auto entry,
-                            db_->index().GetEntry(ctx.NextSurvivor(), op.key));
+      SMDB_ASSIGN_OR_RETURN(
+          auto entry, db_->index().GetEntry(UndoPerformer(ctx, rec), op.key));
       if (!entry.has_value()) continue;
       auto it = clr_keys.find(entry->usn);
       if (it != clr_keys.end() && it->second.second == key) {
@@ -360,8 +474,14 @@ Status RecoveryManager::UndoCrashedFromStableLogs(Ctx& ctx) {
       }
     }
   }
+  // The apply loop keeps the exact reverse-USN global order for every
+  // thread count — ApplyUndo* allocates a fresh USN per CLR, so the
+  // allocation order (and therefore all recovered page bytes) must be
+  // thread-count-invariant. Partitioning changes only the performer, which
+  // only affects performance state (clocks, cache residency, CLR log
+  // placement).
   for (const LogRecord& rec : to_undo) {
-    NodeId performer = ctx.NextSurvivor();
+    NodeId performer = UndoPerformer(ctx, rec);
     if (rec.type == LogRecordType::kUpdate) {
       SMDB_RETURN_IF_ERROR(db_->txn().ApplyUndoUpdate(performer, rec, &eng));
     } else {
@@ -381,17 +501,20 @@ Status RecoveryManager::TagScanUndo(Ctx& ctx) {
                                          &rs, ctx.uncommitted_ids);
 
   // Map USN -> owning txn from every stable log, to distinguish "tag stale
-  // because the commit beat the tag-clear" from "uncommitted".
+  // because the commit beat the tag-clear" from "uncommitted". Built in
+  // parallel (per-node maps over disjoint USNs), merged sequentially.
   std::unordered_map<uint64_t, TxnId> usn_owner;
-  for (NodeId c = 0; c < m.num_nodes(); ++c) {
+  std::vector<std::unordered_map<uint64_t, TxnId>> node_owner(m.num_nodes());
+  ForEachNodeParallel(ctx, [&](NodeId c) {
     db_->log().ForEachStable(c, [&](const LogRecord& rec) {
       if (rec.type == LogRecordType::kUpdate) {
-        usn_owner[rec.update().usn] = rec.txn;
+        node_owner[c][rec.update().usn] = rec.txn;
       } else if (rec.type == LogRecordType::kIndexOp) {
-        usn_owner[rec.index_op().usn] = rec.txn;
+        node_owner[c][rec.index_op().usn] = rec.txn;
       }
     });
-  }
+  });
+  for (NodeId c = 0; c < m.num_nodes(); ++c) usn_owner.merge(node_owner[c]);
   auto stale_committed_tag = [&](uint64_t usn, NodeId tagged) {
     auto it = usn_owner.find(usn);
     if (it != usn_owner.end()) {
@@ -406,8 +529,34 @@ Status RecoveryManager::TagScanUndo(Ctx& ctx) {
     return usn <= db_->log().max_truncated_usn(tagged);
   };
 
+  // The scan is split into a collect phase and an apply phase. Collection
+  // walks each survivor's cache in node order (survivor caches can share
+  // replicated lines, so the same record may be found by several scanners —
+  // first finder wins, like the legacy interleaved scan). Application then
+  // runs in a *canonical* order — heap undos by record id, index undos by
+  // (leaf, slot), stale-tag clears last — independent of which survivor
+  // found what. That matters because every tag undo allocates a fresh
+  // global USN: a canonical apply order makes the USN assignment (and
+  // therefore all recovered page bytes) identical for every worker count,
+  // which is what the differential oracle checks.
+  struct HeapCand {
+    RecordId rid;
+    uint64_t usn = 0;  // observed at collect time, drives classification
+    NodeId found_on = 0;
+    bool stale_clear = false;
+  };
+  struct IdxCand {
+    BTree::EntryRef ref;
+    NodeId found_on = 0;
+    bool stale_clear = false;
+  };
+  std::vector<HeapCand> heap_cands;
+  std::vector<IdxCand> idx_cands;
+  std::set<RecordId> seen_rids;
+  std::set<std::pair<PageId, uint16_t>> seen_slots;
+
   for (NodeId s : ctx.survivors) {
-    // Snapshot the resident lines first: undo writes mutate caches.
+    // Snapshot the resident lines first (collection itself reads only).
     std::vector<LineAddr> lines;
     m.cache(s).ForEachLine(
         [&](LineAddr line, const Cache::Entry&) { lines.push_back(line); });
@@ -419,58 +568,100 @@ Status RecoveryManager::TagScanUndo(Ctx& ctx) {
         if (img.tag == kTagNone) continue;
         NodeId tagged = NodeOfTag(img.tag);
         if (!ctx.dead_set.contains(tagged)) continue;
-        if (stale_committed_tag(img.usn, tagged)) {
-          // Commit happened; only the tag-clear was lost. Clear it now.
-          SMDB_RETURN_IF_ERROR(m.GetLine(s, line));
-          Status st = rs.WriteTag(s, rid, kTagNone);
-          m.ReleaseLine(s, line);
-          SMDB_RETURN_IF_ERROR(st);
-          continue;
-        }
-        // Undo: install the last committed value (from stable store).
-        SMDB_ASSIGN_OR_RETURN(SlotImage committed,
-                              reconstructor.CommittedValue(s, rid));
-        LineAddr header_line = rs.HeaderLine(rid.page);
-        SMDB_RETURN_IF_ERROR(m.GetLine(s, header_line));
-        Status st = m.GetLine(s, line);
-        if (!st.ok()) {
-          m.ReleaseLine(s, header_line);
-          return st;
-        }
-        uint64_t usn = db_->usn().Next();
-        SlotImage img2;
-        img2.usn = usn;
-        img2.tag = kTagNone;
-        img2.data = committed.data;
-        Status w = rs.WriteSlot(s, rid, img2);
-        if (w.ok()) w = rs.WritePageLsn(s, rid.page, usn);
-        m.ReleaseLine(s, line);
-        m.ReleaseLine(s, header_line);
-        SMDB_RETURN_IF_ERROR(w);
-        db_->buffers().MarkDirty(rid.page);
-        ++ctx.out.tag_undos;
-        ++ctx.out.undo_applied;
+        if (!seen_rids.insert(rid).second) continue;
+        HeapCand c;
+        c.rid = rid;
+        c.usn = img.usn;
+        c.found_on = s;
+        c.stale_clear = stale_committed_tag(img.usn, tagged);
+        heap_cands.push_back(c);
       }
       // --- Index entries ---
       for (const auto& ref : index.EntriesInLine(line)) {
         if (ref.entry.tag == kTagNone) continue;
         NodeId tagged = NodeOfTag(ref.entry.tag);
         if (!ctx.dead_set.contains(tagged)) continue;
-        if (stale_committed_tag(ref.entry.usn, tagged)) {
-          SMDB_RETURN_IF_ERROR(index.ClearTag(s, ref.entry.key));
-          continue;
-        }
-        if (ref.entry.state == LeafEntryState::kLive) {
-          // Undo of an uncommitted insert: physically remove this entry.
-          SMDB_RETURN_IF_ERROR(index.RemoveEntryAt(s, ref.leaf, ref.slot));
-        } else {
-          // Undo of an uncommitted logical delete: unmark this entry.
-          SMDB_RETURN_IF_ERROR(index.UnmarkEntryAt(s, ref.leaf, ref.slot));
-        }
-        ++ctx.out.tag_undos;
-        ++ctx.out.undo_applied;
+        if (!seen_slots.insert({ref.leaf, ref.slot}).second) continue;
+        IdxCand c;
+        c.ref = ref;
+        c.found_on = s;
+        c.stale_clear = stale_committed_tag(ref.entry.usn, tagged);
+        idx_cands.push_back(c);
       }
     }
+  }
+
+  std::sort(heap_cands.begin(), heap_cands.end(),
+            [](const HeapCand& a, const HeapCand& b) { return a.rid < b.rid; });
+  std::sort(idx_cands.begin(), idx_cands.end(),
+            [](const IdxCand& a, const IdxCand& b) {
+              return std::pair{a.ref.leaf, a.ref.slot} <
+                     std::pair{b.ref.leaf, b.ref.slot};
+            });
+
+  // Serial keeps the finding survivor as performer (the legacy
+  // assignment); W > 1 routes each undo to its partition's stream.
+  auto heap_performer = [&](const HeapCand& c) {
+    return ctx.threads <= 1 ? c.found_on : ctx.StreamPerformer(c.rid.page);
+  };
+  auto idx_performer = [&](const IdxCand& c) {
+    return ctx.threads <= 1 ? c.found_on
+                            : ctx.StreamPerformer(Mix64(c.ref.entry.key));
+  };
+
+  for (const HeapCand& c : heap_cands) {
+    NodeId p = heap_performer(c);
+    if (c.stale_clear) {
+      // Commit happened; only the tag-clear was lost. Clear it now.
+      LineAddr line = rs.SlotLine(c.rid);
+      SMDB_RETURN_IF_ERROR(m.GetLine(p, line));
+      Status st = rs.WriteTag(p, c.rid, kTagNone);
+      m.ReleaseLine(p, line);
+      SMDB_RETURN_IF_ERROR(st);
+      continue;
+    }
+    // Undo: install the last committed value (from stable store).
+    SMDB_ASSIGN_OR_RETURN(SlotImage committed,
+                          reconstructor.CommittedValue(p, c.rid));
+    LineAddr header_line = rs.HeaderLine(c.rid.page);
+    LineAddr record_line = rs.SlotLine(c.rid);
+    SMDB_RETURN_IF_ERROR(m.GetLine(p, header_line));
+    Status st = m.GetLine(p, record_line);
+    if (!st.ok()) {
+      m.ReleaseLine(p, header_line);
+      return st;
+    }
+    uint64_t usn = db_->usn().Next();
+    SlotImage img2;
+    img2.usn = usn;
+    img2.tag = kTagNone;
+    img2.data = committed.data;
+    Status w = rs.WriteSlot(p, c.rid, img2);
+    if (w.ok()) w = rs.WritePageLsn(p, c.rid.page, usn);
+    m.ReleaseLine(p, record_line);
+    m.ReleaseLine(p, header_line);
+    SMDB_RETURN_IF_ERROR(w);
+    db_->buffers().MarkDirty(c.rid.page);
+    ++ctx.out.tag_undos;
+    ++ctx.out.undo_applied;
+  }
+  for (const IdxCand& c : idx_cands) {
+    NodeId p = idx_performer(c);
+    if (c.stale_clear) {
+      SMDB_RETURN_IF_ERROR(index.ClearTag(p, c.ref.entry.key));
+      continue;
+    }
+    if (c.ref.entry.state == LeafEntryState::kLive) {
+      // Undo of an uncommitted insert: physically remove this entry.
+      // RemoveEntryAt blanks the slot in place (no compaction), so the
+      // (leaf, slot) references collected above stay valid throughout.
+      SMDB_RETURN_IF_ERROR(index.RemoveEntryAt(p, c.ref.leaf, c.ref.slot));
+    } else {
+      // Undo of an uncommitted logical delete: unmark this entry.
+      SMDB_RETURN_IF_ERROR(index.UnmarkEntryAt(p, c.ref.leaf, c.ref.slot));
+    }
+    ++ctx.out.tag_undos;
+    ++ctx.out.undo_applied;
   }
   return Status::Ok();
 }
@@ -499,10 +690,21 @@ Status RecoveryManager::RecoverLockTable(Ctx& ctx) {
   std::set<TxnId> surviving_ids;
   for (Transaction* t : ctx.surviving_active) surviving_ids.insert(t->id);
 
-  for (NodeId s : ctx.survivors) {
+  // Collect each survivor's lock-op records in parallel (host-side log
+  // reads into per-node slots), then fold sequentially in survivor order —
+  // the fold is order-sensitive (acquire/queue/release replay), so only
+  // the scans are partitioned.
+  std::vector<std::vector<LogRecord>> lock_ops(db_->machine().num_nodes());
+  ForEachNodeParallel(ctx, [&](NodeId s) {
+    if (ctx.dead_set.contains(s)) return;
     db_->log().ForEachAll(s, [&](const LogRecord& rec) {
       if (rec.type != LogRecordType::kLockOp) return;
       if (!surviving_ids.contains(rec.txn)) return;
+      lock_ops[s].push_back(rec);
+    });
+  });
+  for (NodeId s : ctx.survivors) {
+    for (const LogRecord& rec : lock_ops[s]) {
       const LockOpPayload& op = rec.lock_op();
       Lcb& lcb = folded[op.lock_name];
       lcb.name = op.lock_name;
@@ -529,7 +731,7 @@ Status RecoveryManager::RecoverLockTable(Ctx& ctx) {
           erase_txn(lcb.waiters);
           break;
       }
-    });
+    }
   }
 
   for (auto& [name, expected] : folded) {
@@ -556,6 +758,11 @@ Status RecoveryManager::RecoverLockTable(Ctx& ctx) {
 Result<RecoveryOutcome> RecoveryManager::Run(
     const std::vector<NodeId>& crashed) {
   Ctx ctx;
+  ctx.threads = std::max<uint32_t>(1, db_->config().recovery.recovery_threads);
+  if (ctx.threads > 1 &&
+      (pool_ == nullptr || pool_->workers() != ctx.threads)) {
+    pool_ = std::make_unique<ThreadPool>(ctx.threads);
+  }
   SMDB_RETURN_IF_ERROR(BuildContext(crashed, &ctx));
   Machine& m = db_->machine();
   m.SyncClocks();
@@ -570,8 +777,10 @@ Result<RecoveryOutcome> RecoveryManager::Run(
     // storage. All active transactions were on crashed nodes, so they are
     // annulled (not "unnecessarily aborted") and IFA holds trivially.
     for (NodeId n = 0; n < m.num_nodes(); ++n) ctx.survivors.push_back(n);
+    PinStreams(&ctx.streams, ctx.threads, ctx.survivors);
     s = RunRebootAll(ctx);
   } else {
+    PinStreams(&ctx.streams, ctx.threads, ctx.survivors);
     switch (db_->config().recovery.restart) {
       case RestartKind::kRedoAll:
         s = RunRedoAll(ctx);

@@ -1,11 +1,14 @@
 #ifndef SMDB_CORE_RECOVERY_MANAGER_H_
 #define SMDB_CORE_RECOVERY_MANAGER_H_
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "core/recovery.h"
 #include "txn/transaction.h"
@@ -64,10 +67,27 @@ class RecoveryManager {
     RecoveryOutcome out;
     size_t rr = 0;
 
+    /// recovery_threads from the database config, clamped to >= 1. 1 is
+    /// the serial pipeline (today's exact performer assignment); W > 1
+    /// runs W deterministic worker streams.
+    uint32_t threads = 1;
+    /// Worker stream -> pinned surviving performer (threads > 1 only).
+    /// Partitioning work so that all records of one page (and all index
+    /// ops of one key range) land on one stream keeps each stream's line
+    /// traffic disjoint: line-lock grant chains and header-line transfers
+    /// stop serialising the survivors' clocks, which is where the
+    /// parallel recovery speedup comes from.
+    std::vector<NodeId> streams;
+
     NodeId NextSurvivor() {
       NodeId n = survivors[rr % survivors.size()];
       ++rr;
       return n;
+    }
+
+    /// Performer of the stream owning `partition` (threads > 1).
+    NodeId StreamPerformer(uint64_t partition) const {
+      return streams[partition % streams.size()];
     }
   };
 
@@ -117,7 +137,25 @@ class RecoveryManager {
   /// True if `txn` has a commit record in its node's stable log.
   bool CommittedInStableLog(TxnId txn) const;
 
+  // Parallel pipeline support --------------------------------------------
+
+  /// Runs fn(0..num_nodes-1): inline when serial, fanned out over the
+  /// work-stealing pool when ctx.threads > 1. Only safe for host-side log
+  /// scans into per-node slots — the simulator itself is sequential and is
+  /// never touched from pool threads.
+  void ForEachNodeParallel(const Ctx& ctx,
+                           const std::function<void(NodeId)>& fn);
+
+  /// Redo-pass performer: serial keeps the legacy rule (the record's own
+  /// node if alive, else round-robin); W > 1 partitions heap updates by
+  /// page and index ops by key so same-page records stay on one stream.
+  NodeId RedoPerformer(Ctx& ctx, const LogRecord& rec);
+
+  /// Undo-pass performer: serial round-robin, or the partition's stream.
+  NodeId UndoPerformer(Ctx& ctx, const LogRecord& rec);
+
   Database* db_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace smdb

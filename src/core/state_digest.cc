@@ -1,0 +1,144 @@
+#include "core/state_digest.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/database.h"
+
+namespace smdb {
+namespace {
+
+/// 64-bit FNV-1a. Not cryptographic — just a stable, cheap mixer whose
+/// value is identical across runs and platforms for identical input bytes.
+class Fnv {
+ public:
+  void Bytes(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h_ ^= b[i];
+      h_ *= 1099511628211ULL;
+    }
+  }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  uint64_t hash() const { return h_; }
+
+ private:
+  uint64_t h_ = 1469598103934665603ULL;
+};
+
+constexpr uint64_t kLostLineMarker = 0xDEADDEADDEADDEADULL;
+constexpr uint64_t kMissingPageMarker = 0xAB5E97A6EAB5E97AULL;
+
+/// Hashes the coherent image of `pages`: per line, either the current
+/// authoritative bytes (wherever they reside) or a lost-line marker.
+uint64_t DigestCoherentPages(Database& db, const std::vector<PageId>& pages) {
+  Fnv f;
+  const Machine& m = db.machine();
+  const uint32_t line_size = db.machine().line_size();
+  const uint32_t page_size = db.config().page_size;
+  std::vector<uint8_t> buf(line_size);
+  for (PageId p : pages) {
+    f.U64(p);
+    auto base = db.buffers().BaseOf(p);
+    if (!base.ok()) {
+      f.U64(kMissingPageMarker);
+      continue;
+    }
+    for (uint32_t off = 0; off < page_size; off += line_size) {
+      Addr addr = *base + off;
+      if (m.IsLineLost(m.LineOf(addr))) {
+        f.U64(kLostLineMarker);
+        continue;
+      }
+      if (!m.SnoopRead(addr, buf.data(), line_size).ok()) {
+        f.U64(kLostLineMarker);
+        continue;
+      }
+      f.Bytes(buf.data(), line_size);
+    }
+  }
+  return f.hash();
+}
+
+uint64_t DigestStablePages(Database& db, const std::vector<PageId>& pages) {
+  Fnv f;
+  for (PageId p : pages) {
+    f.U64(p);
+    const std::vector<uint8_t>* bytes = db.stable_db().Peek(p);
+    if (bytes == nullptr) {
+      f.U64(kMissingPageMarker);
+      continue;
+    }
+    f.Bytes(bytes->data(), bytes->size());
+  }
+  return f.hash();
+}
+
+uint64_t DigestLocks(Database& db) {
+  int lost = 0;
+  std::vector<Lcb> lcbs = db.locks().SnapshotAll(&lost);
+  // Slot placement inside the LCB table is an implementation artifact;
+  // hash in name order so only the logical content counts.
+  std::sort(lcbs.begin(), lcbs.end(),
+            [](const Lcb& a, const Lcb& b) { return a.name < b.name; });
+  Fnv f;
+  f.U64(static_cast<uint64_t>(lost));
+  for (const Lcb& lcb : lcbs) {
+    f.U64(lcb.name);
+    f.U64(lcb.holders.size());
+    for (const LockEntry& e : lcb.holders) {
+      f.U64(e.txn);
+      f.U64(static_cast<uint64_t>(e.mode));
+    }
+    f.U64(lcb.waiters.size());
+    for (const LockEntry& e : lcb.waiters) {
+      f.U64(e.txn);
+      f.U64(static_cast<uint64_t>(e.mode));
+    }
+  }
+  return f.hash();
+}
+
+uint64_t DigestTxns(Database& db) {
+  Fnv f;
+  db.txn().ForEachTxn([&](const Transaction& t) {
+    f.U64(t.id);
+    f.U64(static_cast<uint64_t>(t.state));
+  });
+  return f.hash();
+}
+
+}  // namespace
+
+uint64_t StateDigest::Combined() const {
+  Fnv f;
+  f.U64(heap);
+  f.U64(index);
+  f.U64(stable);
+  f.U64(locks);
+  f.U64(txns);
+  return f.hash();
+}
+
+std::string StateDigest::ToString() const {
+  std::ostringstream os;
+  os << std::hex << "heap=" << heap << " index=" << index
+     << " stable=" << stable << " locks=" << locks << " txns=" << txns;
+  return os.str();
+}
+
+StateDigest ComputeStateDigest(Database& db) {
+  StateDigest d;
+  d.heap = DigestCoherentPages(db, db.records().pages());
+  d.index = DigestCoherentPages(db, db.index().pages());
+  std::vector<PageId> all = db.records().pages();
+  const std::vector<PageId>& idx = db.index().pages();
+  all.insert(all.end(), idx.begin(), idx.end());
+  d.stable = DigestStablePages(db, all);
+  d.locks = DigestLocks(db);
+  d.txns = DigestTxns(db);
+  return d;
+}
+
+}  // namespace smdb

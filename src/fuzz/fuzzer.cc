@@ -25,7 +25,9 @@ FuzzVerdict CrashScheduleFuzzer::RunCase(const FuzzCase& fuzz_case,
                                          RecoveryConfig protocol) {
   protocol.disable_undo_tagging =
       protocol.disable_undo_tagging || opts_.disable_undo_tagging;
-  Harness h(MakeHarnessConfig(fuzz_case, protocol));
+  HarnessConfig base = MakeHarnessConfig(fuzz_case, protocol);
+  base.capture_digests = opts_.recovery_threads > 1;
+  Harness h(base);
   auto report = h.Run();
   ++stats_.runs;
   if (!report.ok()) {
@@ -55,6 +57,58 @@ FuzzVerdict CrashScheduleFuzzer::RunCase(const FuzzCase& fuzz_case,
         return {true, "oracle",
                 "RebootAll recovery without a whole-machine restart"};
       }
+    }
+  }
+  if (opts_.recovery_threads > 1 && !report->recoveries.empty()) {
+    FuzzVerdict dv = CheckParallelEquivalence(base, *report);
+    if (dv.failed) return dv;
+  }
+  return {};
+}
+
+FuzzVerdict CrashScheduleFuzzer::CheckParallelEquivalence(
+    const HarnessConfig& base, const HarnessReport& serial) {
+  const uint32_t w = opts_.recovery_threads;
+  // One differential run per fired recovery: digests taken *after* a
+  // parallel recovery are only comparable up to that recovery (CLR log
+  // placement is performer-dependent and may legitimately steer later
+  // forces and later recoveries differently), so each run parallelises
+  // exactly one recovery, with everything before it serial.
+  for (size_t k = 0; k < serial.recoveries.size(); ++k) {
+    std::string at = "W=" + std::to_string(w) + " recovery #" +
+                     std::to_string(k) + " ";
+    HarnessConfig cfg = base;
+    cfg.recovery_thread_overrides.assign(k + 1, 1);
+    cfg.recovery_thread_overrides[k] = w;
+    Harness h(cfg);
+    auto report = h.Run();
+    ++stats_.runs;
+    if (!report.ok()) {
+      return {true, "parallel-divergence",
+              at + "run-error: " + report.status().ToString()};
+    }
+    if (!report->verify_status.ok()) {
+      return {true, "parallel-divergence",
+              at + "ifa-verify: " + report->verify_status.ToString()};
+    }
+    if (report->recoveries.size() <= k || report->digests.size() <= k) {
+      return {true, "parallel-divergence", at + "never fired"};
+    }
+    if (!(report->digests[k] == serial.digests[k])) {
+      return {true, "parallel-divergence",
+              at + "digest mismatch: serial{" + serial.digests[k].ToString() +
+                  "} parallel{" + report->digests[k].ToString() + "}"};
+    }
+    const RecoveryOutcome& a = serial.recoveries[k];
+    const RecoveryOutcome& b = report->recoveries[k];
+    if (a.annulled != b.annulled || a.preserved != b.preserved ||
+        a.forced_aborts != b.forced_aborts ||
+        a.redo_applied != b.redo_applied ||
+        a.redo_skipped != b.redo_skipped ||
+        a.undo_applied != b.undo_applied || a.tag_undos != b.tag_undos) {
+      return {true, "parallel-divergence",
+              at + "outcome mismatch: serial{" + a.ToString() +
+                  "} parallel{" + b.ToString() + "}"};
     }
   }
   return {};
@@ -177,6 +231,7 @@ std::string CrashScheduleFuzzer::ReplayJson(const FuzzFailure& failure,
   doc.Set("protocol", json::Value::Str(failure.protocol.FlagName()));
   doc.Set("disable_undo_tagging",
           json::Value::Bool(failure.protocol.disable_undo_tagging));
+  doc.Set("recovery_threads", json::Value::Uint(opts_.recovery_threads));
   doc.Set("case", shrunk.ToJson());
   doc.Set("original_case", failure.fuzz_case.ToJson());
   json::Value fail = json::Value::Object();
@@ -199,6 +254,9 @@ Result<CrashScheduleFuzzer::ReplayDoc> CrashScheduleFuzzer::ParseReplay(
     return Status::InvalidArgument("replay: unknown protocol '" + proto + "'");
   }
   out.protocol.disable_undo_tagging = doc.GetBool("disable_undo_tagging");
+  // Absent in documents that predate the parallel pipeline: serial.
+  uint64_t threads = doc.GetUint("recovery_threads");
+  out.recovery_threads = threads == 0 ? 1 : static_cast<uint32_t>(threads);
   const json::Value* c = doc.Find("case");
   if (c == nullptr) {
     return Status::InvalidArgument("replay: missing case");

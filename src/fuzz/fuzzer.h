@@ -59,6 +59,14 @@ class CrashScheduleFuzzer {
     bool disable_undo_tagging = false;
     /// Upper bound on re-runs the shrinker may spend per failure.
     size_t max_shrink_runs = 400;
+    /// When > 1, every case additionally runs the parallel-recovery
+    /// differential: a serial baseline captures a StateDigest after each
+    /// recovery, then the schedule re-runs once per fired recovery with
+    /// exactly that recovery at `recovery_threads` worker streams (all
+    /// earlier ones serial), and the digests must match. A mismatch is a
+    /// "parallel-divergence" failure, and the shrinker minimises it like
+    /// any other (RunCase re-runs the whole differential per candidate).
+    uint32_t recovery_threads = 1;
   };
 
   /// The five IFA protocol variants plus the two baselines-as-oracles.
@@ -87,6 +95,8 @@ class CrashScheduleFuzzer {
     uint64_t seed = 0;
     FuzzCase fuzz_case;
     RecoveryConfig protocol;
+    /// Worker streams the failing run used (1 = plain serial run).
+    uint32_t recovery_threads = 1;
     std::string recorded_kind;
     std::string recorded_detail;
   };
@@ -95,6 +105,12 @@ class CrashScheduleFuzzer {
   const FuzzStats& stats() const { return stats_; }
 
  private:
+  /// The differential leg of RunCase: re-runs `base` once per recovery the
+  /// serial run fired, parallelising only that recovery, and compares the
+  /// post-recovery digest and the recovery outcome's logical fields.
+  FuzzVerdict CheckParallelEquivalence(const HarnessConfig& base,
+                                       const HarnessReport& serial);
+
   Options opts_;
   FuzzStats stats_;
 };

@@ -30,6 +30,13 @@ class Disk {
 
   bool Exists(PageId page) const { return pages_.contains(page); }
 
+  /// Read-only view of a page's durable bytes — no machine access, no cost
+  /// (verification oracles and state digests). nullptr if never written.
+  const std::vector<uint8_t>* Peek(PageId page) const {
+    auto it = pages_.find(page);
+    return it == pages_.end() ? nullptr : &it->second;
+  }
+
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
 

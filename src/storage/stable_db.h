@@ -31,6 +31,11 @@ class StableDb {
 
   bool Exists(PageId page) const { return disk_->Exists(page); }
 
+  /// No-cost read-only view of the durable bytes (digests/oracles).
+  const std::vector<uint8_t>* Peek(PageId page) const {
+    return disk_->Peek(page);
+  }
+
   /// Allocates a fresh page id.
   PageId AllocatePageId() { return next_page_++; }
 

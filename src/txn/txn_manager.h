@@ -110,6 +110,12 @@ class TxnManager {
   std::vector<Transaction*> ActiveOn(NodeId node);
   std::vector<Transaction*> ActiveAll();
 
+  /// Iterates every transaction ever begun, in id order (state digests and
+  /// verification oracles; no machine cost).
+  void ForEachTxn(const std::function<void(const Transaction&)>& fn) const {
+    for (const auto& [id, t] : txns_) fn(*t);
+  }
+
   /// Marks a crash-annulled transaction aborted after recovery has undone
   /// its effects (notifies the observer).
   void MarkCrashAnnulled(Transaction* txn);

@@ -79,9 +79,16 @@ Result<HarnessReport> Harness::Run() {
             {plan_index, plan, SkippedCrash::Reason::kTargetsAlreadyDead});
         continue;
       }
+      size_t fired = report.recoveries.size();
+      if (fired < config_.recovery_thread_overrides.size()) {
+        db_->SetRecoveryThreads(config_.recovery_thread_overrides[fired]);
+      }
       for (NodeId n : to_crash) exec_->executor(n).OnCrash();
       SMDB_ASSIGN_OR_RETURN(RecoveryOutcome outcome, db_->Crash(to_crash));
       report.recoveries.push_back(outcome);
+      if (config_.capture_digests) {
+        report.digests.push_back(ComputeStateDigest(*db_));
+      }
       if (config_.verify) {
         Status v = checker_->VerifyAll();
         if (!v.ok()) {
@@ -127,6 +134,15 @@ Result<HarnessReport> Harness::Run() {
 
   if (config_.verify) {
     report.verify_status = checker_->VerifyAll();
+  }
+  if (config_.capture_digests) {
+    // Final end-of-run digest. Note: only digests up to and including the
+    // first parallelised recovery are comparable against a serial run —
+    // CLR/log placement after that point is performer-dependent
+    // (performance state) and can steer later forces and the *next*
+    // recovery differently. The differential tests therefore override one
+    // recovery at a time and compare that recovery's digest.
+    report.digests.push_back(ComputeStateDigest(*db_));
   }
 
   FillReport(&report);

@@ -7,6 +7,7 @@
 #include "core/database.h"
 #include "core/ifa_checker.h"
 #include "core/recovery.h"
+#include "core/state_digest.h"
 #include "txn/executor.h"
 #include "workload/workload.h"
 
@@ -25,6 +26,16 @@ struct HarnessConfig {
   /// Verify IFA (oracle comparison) after every recovery and at the end.
   bool verify = true;
   uint64_t seed = 99;
+  /// Snapshot a StateDigest right after each recovery (before verification
+  /// and any node restart) into HarnessReport::digests. The differential
+  /// parallel-recovery oracle compares these across thread counts.
+  bool capture_digests = false;
+  /// Element i overrides recovery_threads for the i-th *fired* recovery
+  /// (skipped crash plans don't consume an entry). Recoveries beyond the
+  /// vector keep the config's value. Lets the equivalence tests parallelise
+  /// exactly one recovery of a multi-crash schedule while every other
+  /// recovery stays serial, so earlier digests are comparable one by one.
+  std::vector<uint32_t> recovery_thread_overrides;
 };
 
 /// A crash plan that never fired, and why. The fuzzer needs this to tell
@@ -45,6 +56,9 @@ struct SkippedCrash {
 struct HarnessReport {
   ExecutorStats exec;
   std::vector<RecoveryOutcome> recoveries;
+  /// One digest per fired recovery when capture_digests is set (index i
+  /// matches recoveries[i]), plus one final end-of-run digest.
+  std::vector<StateDigest> digests;
   std::vector<SkippedCrash> skipped_crashes;
   MachineStats machine;
   LogStats logs;

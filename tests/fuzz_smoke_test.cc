@@ -10,6 +10,10 @@
 //      under SelectiveRedo is caught within a small seed budget, shrinks
 //      to a tiny crash schedule, and the emitted replay document
 //      round-trips and reproduces the failure.
+//   4. The parallel-recovery differential (Options::recovery_threads > 1)
+//      composes with all of the above: clean seeds stay clean, replay
+//      documents record the thread count, and the shrinker minimises
+//      failures through the differential predicate.
 
 #include <gtest/gtest.h>
 
@@ -96,6 +100,60 @@ TEST(FuzzSmoke, BrokenUndoTaggingIsCaughtShrunkAndReplayable) {
   EXPECT_TRUE(replayed.failed);
   EXPECT_EQ(replayed.kind, direct.kind);
   EXPECT_EQ(replayed.detail, direct.detail);
+}
+
+TEST(FuzzSmoke, ParallelDifferentialIsCleanAndRecordedInReplays) {
+  CrashScheduleFuzzer::Options opts;
+  opts.protocols = {RecoveryConfig::VolatileSelectiveRedo(),
+                    RecoveryConfig::StableEagerRedoAll()};
+  opts.recovery_threads = 2;
+  CrashScheduleFuzzer fuzzer(opts);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    auto failure = fuzzer.RunSeed(seed);
+    ASSERT_FALSE(failure.has_value())
+        << "seed " << seed << " diverged under "
+        << failure->protocol.Name() << ": [" << failure->verdict.kind
+        << "] " << failure->verdict.detail;
+  }
+  // The differential actually ran: more harness runs than cases x protocols.
+  EXPECT_GT(fuzzer.stats().runs, 20u);
+
+  // Replay documents carry the thread count so a parallel-only divergence
+  // re-executes at the width that exposed it.
+  FuzzFailure failure;
+  failure.seed = 7;
+  failure.fuzz_case = SampleFuzzCase(7);
+  failure.protocol = RecoveryConfig::VolatileSelectiveRedo();
+  failure.verdict = {true, "parallel-divergence", "digest mismatch"};
+  std::string text = fuzzer.ReplayJson(failure, failure.fuzz_case);
+  auto doc = CrashScheduleFuzzer::ParseReplay(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->recovery_threads, 2u);
+  EXPECT_EQ(doc->recorded_kind, "parallel-divergence");
+}
+
+TEST(FuzzSmoke, ShrinkerMinimisesThroughTheDifferentialPredicate) {
+  // With recovery_threads set, every still-fails probe of the shrinker
+  // re-runs the serial leg *and* the per-recovery differential leg, so a
+  // minimised schedule is guaranteed to still fail under the combined
+  // predicate — the property that makes shrunk parallel-divergence
+  // reproducers trustworthy. Forced here with the undo-tagging fault,
+  // which the serial leg catches.
+  CrashScheduleFuzzer::Options opts;
+  opts.protocols = {RecoveryConfig::VolatileSelectiveRedo()};
+  opts.disable_undo_tagging = true;
+  opts.recovery_threads = 2;
+  opts.max_shrink_runs = 120;
+  CrashScheduleFuzzer fuzzer(opts);
+
+  std::optional<FuzzFailure> failure;
+  for (uint64_t seed = 0; seed < 60 && !failure.has_value(); ++seed) {
+    failure = fuzzer.RunSeed(seed);
+  }
+  ASSERT_TRUE(failure.has_value());
+  FuzzCase shrunk = fuzzer.Shrink(*failure);
+  FuzzVerdict direct = fuzzer.RunCase(shrunk, failure->protocol);
+  EXPECT_TRUE(direct.failed) << "shrunk case no longer fails differentially";
 }
 
 }  // namespace

@@ -34,6 +34,7 @@ struct Flags {
   bool break_undo_tags = false;
   bool shrink = true;
   bool verbose = false;
+  uint64_t recovery_threads = 1;
   std::string out_path = "smdb_fuzz_failure.json";
   std::string replay_path;
 };
@@ -50,6 +51,10 @@ void Usage() {
       "                        stable-triggered-selective | reboot-all |\n"
       "                        abort-dependents   (default: all)\n"
       "  --break=no-undo-tags  fault injection: disable undo tagging\n"
+      "  --recovery-threads=N  also run the parallel-recovery differential:\n"
+      "                        every recovery re-runs at N worker streams\n"
+      "                        and must produce the serial run's state\n"
+      "                        digest (default 1 = off)\n"
       "  --no-shrink           keep the original failing schedule\n"
       "  --out=FILE            replay file path (default "
       "smdb_fuzz_failure.json)\n"
@@ -59,7 +64,8 @@ void Usage() {
 
 bool TakesValue(const std::string& key) {
   return key == "--seeds" || key == "--seed-start" || key == "--protocol" ||
-         key == "--break" || key == "--out" || key == "--replay";
+         key == "--break" || key == "--out" || key == "--replay" ||
+         key == "--recovery-threads";
 }
 
 bool ParseUint(const std::string& val, uint64_t* out) {
@@ -86,6 +92,10 @@ bool ParseFlag(Flags& f, const std::string& key, const std::string& val) {
   } else if (key == "--break") {
     if (val != "no-undo-tags") return false;
     f.break_undo_tags = true;
+  } else if (key == "--recovery-threads") {
+    if (!ParseUint(val, &f.recovery_threads) || f.recovery_threads == 0) {
+      return false;
+    }
   } else if (key == "--no-shrink") {
     f.shrink = false;
   } else if (key == "--out") {
@@ -151,7 +161,13 @@ int Replay(const Flags& flags) {
       std::printf("  run error: %s\n", report.status().ToString().c_str());
     }
   }
-  CrashScheduleFuzzer fuzzer;
+  CrashScheduleFuzzer::Options opts;
+  // A --recovery-threads flag overrides the value recorded in the file, so
+  // a serial failure can be probed at other widths (and vice versa).
+  opts.recovery_threads = flags.recovery_threads > 1
+                              ? static_cast<uint32_t>(flags.recovery_threads)
+                              : doc->recovery_threads;
+  CrashScheduleFuzzer fuzzer(opts);
   FuzzVerdict verdict = fuzzer.RunCase(doc->fuzz_case, doc->protocol);
   if (verdict.failed) {
     std::printf("reproduced: [%s] %s\n", verdict.kind.c_str(),
@@ -166,6 +182,7 @@ int Fuzz(const Flags& flags) {
   CrashScheduleFuzzer::Options opts;
   opts.protocols = flags.protocols;  // empty = defaults
   opts.disable_undo_tagging = flags.break_undo_tags;
+  opts.recovery_threads = static_cast<uint32_t>(flags.recovery_threads);
   CrashScheduleFuzzer fuzzer(opts);
 
   for (uint64_t seed = flags.seed_start;

@@ -46,6 +46,8 @@ void Usage() {
       "restarts)\n"
       "  --steal=F                per-step steal flush probability\n"
       "  --checkpoint-every=N     steps between checkpoints (default 0)\n"
+      "  --recovery-threads=N     worker streams for restart recovery\n"
+      "                           (default 1 = serial)\n"
       "  --nvram                  NVRAM log device (cheap forces)\n"
       "  --two-line-lcb           split LCBs over two cache lines\n"
       "  --seed=N                 workload seed (default 42)\n"
@@ -102,6 +104,10 @@ bool ParseFlag(Flags& f, const std::string& arg) {
     cfg.steal_flush_prob = std::stod(val);
   } else if (key == "--checkpoint-every") {
     cfg.checkpoint_every_steps = std::stoull(val);
+  } else if (key == "--recovery-threads") {
+    unsigned long threads = std::stoul(val);
+    if (threads == 0) return false;
+    cfg.db.recovery.recovery_threads = static_cast<uint32_t>(threads);
   } else if (key == "--nvram") {
     cfg.db.machine.nvram_log = true;
   } else if (key == "--two-line-lcb") {
