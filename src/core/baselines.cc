@@ -40,6 +40,7 @@ Status RecoveryManager::RunRebootAll(Ctx& ctx) {
   m.RebootAll();
   for (NodeId n = 0; n < m.num_nodes(); ++n) {
     db_->log().OnNodeCrash(n);
+    if (db_->group_commit() != nullptr) db_->group_commit()->OnNodeCrash(n);
     db_->wal_table().OnNodeCrash(n);
     m.Tick(n, m.config().timing.reboot_ns);
   }
@@ -91,6 +92,10 @@ Status RecoveryManager::RunAbortDependents(Ctx& ctx) {
 
   for (Transaction* t : ctx.surviving_active) {
     if (!dependents.contains(t->id)) continue;
+    // A dependent whose pending group commit became durable mid-recovery
+    // (a recovery-pass force covered it) is committed — its log decides —
+    // and cannot be aborted anymore.
+    if (db_->txn().TryFinishDurablePendingCommit(t)) continue;
     // A normal abort: the transaction's node is alive and its volatile log
     // intact — but the abort is unnecessary, which is the point.
     SMDB_RETURN_IF_ERROR(db_->txn().Abort(t));

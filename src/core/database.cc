@@ -12,6 +12,11 @@ Database::Database(DatabaseConfig config) : config_(config) {
   stable_db_ = std::make_unique<StableDb>(db_disk_.get());
   stable_log_ = std::make_unique<StableLogStore>(config_.machine.num_nodes);
   log_ = std::make_unique<LogManager>(machine_.get(), stable_log_.get());
+  if (config_.recovery.group_commit) {
+    group_commit_ = std::make_unique<GroupCommitPipeline>(
+        machine_.get(), log_.get(), config_.recovery.group_commit_window_ns,
+        config_.recovery.group_commit_max_batch);
+  }
   wal_table_ = std::make_unique<WalTable>(config_.machine.num_nodes);
   buffers_ = std::make_unique<BufferManager>(machine_.get(), stable_db_.get(),
                                              log_.get(), wal_table_.get());
@@ -23,7 +28,8 @@ Database::Database(DatabaseConfig config) : config_(config) {
   LockTableConfig lt = config_.lock_table;
   lt.log_lock_ops = config_.recovery.log_lock_ops;
   locks_ = std::make_unique<LockTable>(machine_.get(), log_.get(), lt);
-  lbm_ = LbmPolicy::Create(config_.recovery.lbm, machine_.get(), log_.get());
+  lbm_ = LbmPolicy::Create(config_.recovery.lbm, machine_.get(), log_.get(),
+                           group_commit_.get());
   if (config_.recovery.restart == RestartKind::kAbortDependents) {
     deps_ = std::make_unique<DependencyTracker>(machine_.get());
   }
@@ -34,12 +40,14 @@ Database::Database(DatabaseConfig config) : config_(config) {
       machine_.get(), log_.get(), locks_.get(), records_.get(), index_.get(),
       wal_table_.get(), buffers_.get(), lbm_.get(), &usn_, deps_.get(),
       config_.recovery);
+  txn_->SetGroupCommit(group_commit_.get());
   recovery_ = std::make_unique<RecoveryManager>(this);
 
   // A node crash destroys the node's volatile log tail and resets its
   // column of the WAL (page, LSN) table.
   machine_->AddCrashHook([this](const CrashEvent& ev) {
     log_->OnNodeCrash(ev.node);
+    if (group_commit_ != nullptr) group_commit_->OnNodeCrash(ev.node);
     wal_table_->OnNodeCrash(ev.node);
   });
 
@@ -82,6 +90,10 @@ Status Database::Checkpoint(NodeId coordinator) {
 
 Result<RecoveryOutcome> Database::Crash(const std::vector<NodeId>& crashed) {
   for (NodeId n : crashed) machine_->CrashNode(n);
+  // Pending group commits whose records turn out durable are committed —
+  // resolve them before recovery classifies transactions, so restart never
+  // undoes a durably-committed transaction nor acknowledges an annulled one.
+  SMDB_RETURN_IF_ERROR(txn_->ResolvePendingCommits());
   return recovery_->Run(crashed);
 }
 

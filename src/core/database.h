@@ -20,6 +20,7 @@
 #include "storage/stable_db.h"
 #include "storage/stable_log.h"
 #include "txn/txn_manager.h"
+#include "wal/group_commit.h"
 #include "wal/log_manager.h"
 
 namespace smdb {
@@ -87,6 +88,8 @@ class Database {
   LockTable& locks() { return *locks_; }
   TxnManager& txn() { return *txn_; }
   LbmPolicy& lbm() { return *lbm_; }
+  /// Null unless recovery.group_commit is on.
+  GroupCommitPipeline* group_commit() { return group_commit_.get(); }
   UsnSource& usn() { return usn_; }
   DependencyTracker* deps() { return deps_.get(); }
   RecoveryManager& recovery() { return *recovery_; }
@@ -107,6 +110,7 @@ class Database {
   std::unique_ptr<StableDb> stable_db_;
   std::unique_ptr<StableLogStore> stable_log_;
   std::unique_ptr<LogManager> log_;
+  std::unique_ptr<GroupCommitPipeline> group_commit_;  // null when off
   std::unique_ptr<WalTable> wal_table_;
   std::unique_ptr<BufferManager> buffers_;
   std::unique_ptr<RecordStore> records_;

@@ -1,6 +1,7 @@
 #include "core/lbm_policy.h"
 
 #include "sim/machine.h"
+#include "wal/group_commit.h"
 #include "wal/log_manager.h"
 
 namespace smdb {
@@ -69,14 +70,22 @@ bool RecoveryConfig::FromFlagName(const std::string& name,
 }
 
 std::unique_ptr<LbmPolicy> LbmPolicy::Create(LbmKind kind, Machine* machine,
-                                             LogManager* log) {
+                                             LogManager* log,
+                                             GroupCommitPipeline* group_commit) {
   switch (kind) {
     case LbmKind::kNone:
     case LbmKind::kVolatile:
       return std::make_unique<VolatileLbm>(kind);
     case LbmKind::kStableEager:
+      if (group_commit != nullptr) {
+        return std::make_unique<StableEagerGroupLbm>(machine, log,
+                                                     group_commit);
+      }
       return std::make_unique<StableEagerLbm>(machine, log);
     case LbmKind::kStableTriggered:
+      // The triggered policy already defers forces to migrations; the
+      // pipeline only adds commit-record coalescing, which needs no LBM
+      // cooperation.
       return std::make_unique<StableTriggeredLbm>(machine, log);
   }
   return nullptr;
@@ -87,6 +96,16 @@ Status StableEagerLbm::OnUpdateLogged(NodeId node, Lsn /*lsn*/,
   SMDB_RETURN_IF_ERROR(log_->Force(node, node));
   ++log_->stats().lbm_forces;
   return Status::Ok();
+}
+
+Status StableEagerGroupLbm::OnUpdateLogged(NodeId node, Lsn lsn,
+                                           const std::vector<LineAddr>& lines) {
+  // Mark the lines active first: if the pipeline's size bound flushes right
+  // here, the force hook clears the fresh marks, which is exactly right (the
+  // update is durable). If it doesn't, a premature migration still triggers
+  // an immediate force via the inherited coherence hook.
+  SMDB_RETURN_IF_ERROR(StableTriggeredLbm::OnUpdateLogged(node, lsn, lines));
+  return gc_->NoteLbmIntent(node);
 }
 
 StableTriggeredLbm::StableTriggeredLbm(Machine* machine, LogManager* log)

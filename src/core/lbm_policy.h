@@ -15,6 +15,7 @@ namespace smdb {
 
 class Machine;
 class LogManager;
+class GroupCommitPipeline;
 
 /// A Logging-Before-Migration policy: guarantees that before a cache line
 /// containing an uncommitted update migrates (or replicates) to another
@@ -31,9 +32,13 @@ class LbmPolicy {
   virtual ~LbmPolicy() = default;
 
   /// Factory. The triggered policy registers a coherence hook on `machine`
-  /// and a force hook on `log`.
-  static std::unique_ptr<LbmPolicy> Create(LbmKind kind, Machine* machine,
-                                           LogManager* log);
+  /// and a force hook on `log`. With a non-null `group_commit`, the eager
+  /// policy coalesces: updates register an intent with the pipeline (the
+  /// batched force lands within its window) and fall back to migration-
+  /// triggered forces for safety, instead of forcing on every update.
+  static std::unique_ptr<LbmPolicy> Create(
+      LbmKind kind, Machine* machine, LogManager* log,
+      GroupCommitPipeline* group_commit = nullptr);
 
   virtual LbmKind kind() const = 0;
 
@@ -94,6 +99,27 @@ class StableTriggeredLbm : public LbmPolicy {
   /// node -> its active lines (for clearing on force).
   std::unordered_map<NodeId, std::unordered_set<LineAddr>> active_lines_;
   bool in_force_ = false;
+};
+
+/// Stable-eager LBM riding the group-commit pipeline: instead of forcing on
+/// every update, each update registers an intent (arming the pipeline's
+/// coalescing window, so the force lands within window_ns bounded delay)
+/// and keeps the triggered policy's migration safety net — if an active
+/// line departs before the batched force, the coherence hook forces
+/// immediately. Durability-before-migration is therefore preserved exactly;
+/// only the *timing* of forces changes, which the simulator's determinism
+/// rules allow.
+class StableEagerGroupLbm : public StableTriggeredLbm {
+ public:
+  StableEagerGroupLbm(Machine* machine, LogManager* log,
+                      GroupCommitPipeline* gc)
+      : StableTriggeredLbm(machine, log), gc_(gc) {}
+  LbmKind kind() const override { return LbmKind::kStableEager; }
+  Status OnUpdateLogged(NodeId node, Lsn lsn,
+                        const std::vector<LineAddr>& lines) override;
+
+ private:
+  GroupCommitPipeline* gc_;
 };
 
 }  // namespace smdb

@@ -66,6 +66,22 @@ struct RecoveryConfig {
   /// serial run (see tests/recovery_equivalence_test.cc).
   uint32_t recovery_threads = 1;
 
+  /// Group-commit log-force pipeline (off = exact classic behaviour: every
+  /// commit and every Stable-LBM eager event forces the log synchronously).
+  /// When on, commit records are enqueued and the transaction is
+  /// acknowledged only once a covering force lands; Stable-LBM eager
+  /// forces degrade to coalescible intents backed by the triggered
+  /// policy's migration safety net. Orthogonal to protocol identity:
+  /// FlagName()/presets ignore it, and acknowledgement-after-force keeps
+  /// every IFA argument intact (see DESIGN.md).
+  bool group_commit = false;
+  /// Maximum simulated time a pending commit/LBM intent may wait for a
+  /// coalescing partner before the pipeline forces anyway.
+  uint64_t group_commit_window_ns = 100'000;
+  /// Force immediately once a node's volatile tail reaches this many
+  /// records, regardless of the window.
+  uint32_t group_commit_max_batch = 64;
+
   /// Fault injection: suppress undo tags even when the restart scheme
   /// depends on them. This breaks IFA by construction (a crashed node's
   /// migrated update survives untagged in a remote cache and never gets

@@ -166,8 +166,11 @@ Status RecoveryManager::BuildContext(const std::vector<NodeId>& crashed,
     std::set<TxnId> tail_finished;
     if (db_->machine().NodeAlive(c)) {
       // A live node's volatile tail is intact and authoritative: an abort
-      // record there means the rollback already ran on this node's own log
-      // (commits always force, so only aborts can be volatile-only). Without
+      // record there means the rollback already ran on this node's own log.
+      // (A volatile-only *commit* is a pending group commit — unacknowledged
+      // by construction, and excluding it from the uncommitted set here is
+      // right: its node is alive, nothing needs redoing or undoing, and it
+      // completes when its batch is forced after recovery.) Without
       // this, a normally-aborted transaction whose pre-abort updates were
       // forced stable would be re-flagged and re-undone on every recovery.
       // RebootAll destroys these tails, so the exclusions are recorded in
@@ -673,10 +676,16 @@ Status RecoveryManager::RecoverLockTable(Ctx& ctx) {
   ctx.out.lcb_lines_cleared = locks.ClearLostLines();
 
   // 1. Release every lock of every crashed transaction that survived in
-  // LCBs on live nodes (IFA lock guarantee 1).
-  if (!ctx.crashed_active_ids.empty()) {
-    SMDB_ASSIGN_OR_RETURN(
-        int dropped, locks.DropTxnLocks(performer, ctx.crashed_active_ids));
+  // LCBs on live nodes (IFA lock guarantee 1). Posthumously-resolved group
+  // commits (dead node, durable commit record) join the drop set: their
+  // transactions are committed but could not release locks through their
+  // dead node's log.
+  std::set<TxnId> drop_ids = ctx.crashed_active_ids;
+  drop_ids.insert(db_->txn().resolved_commit_ids().begin(),
+                  db_->txn().resolved_commit_ids().end());
+  if (!drop_ids.empty()) {
+    SMDB_ASSIGN_OR_RETURN(int dropped,
+                          locks.DropTxnLocks(performer, drop_ids));
     ctx.out.locks_dropped = dropped;
   }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace smdb {
 
 std::vector<RecoveryConfig> CrashScheduleFuzzer::DefaultProtocols() {
@@ -21,10 +23,25 @@ CrashScheduleFuzzer::CrashScheduleFuzzer(Options opts)
   if (opts_.protocols.empty()) opts_.protocols = DefaultProtocols();
 }
 
-FuzzVerdict CrashScheduleFuzzer::RunCase(const FuzzCase& fuzz_case,
-                                         RecoveryConfig protocol) {
+RecoveryConfig CrashScheduleFuzzer::EffectiveProtocol(
+    RecoveryConfig protocol) const {
   protocol.disable_undo_tagging =
       protocol.disable_undo_tagging || opts_.disable_undo_tagging;
+  if (opts_.group_commit) {
+    protocol.group_commit = true;
+    if (opts_.group_commit_window_ns != 0) {
+      protocol.group_commit_window_ns = opts_.group_commit_window_ns;
+    }
+    if (opts_.group_commit_max_batch != 0) {
+      protocol.group_commit_max_batch = opts_.group_commit_max_batch;
+    }
+  }
+  return protocol;
+}
+
+FuzzVerdict CrashScheduleFuzzer::RunCase(const FuzzCase& fuzz_case,
+                                         RecoveryConfig protocol) {
+  protocol = EffectiveProtocol(std::move(protocol));
   HarnessConfig base = MakeHarnessConfig(fuzz_case, protocol);
   base.capture_digests = opts_.recovery_threads > 1;
   Harness h(base);
@@ -118,9 +135,9 @@ std::optional<FuzzFailure> CrashScheduleFuzzer::RunSeed(uint64_t seed) {
   FuzzCase fuzz_case = SampleFuzzCase(seed);
   ++stats_.cases;
   for (const RecoveryConfig& rc : opts_.protocols) {
-    RecoveryConfig protocol = rc;
-    protocol.disable_undo_tagging =
-        protocol.disable_undo_tagging || opts_.disable_undo_tagging;
+    // Stored in the failure pre-applied so Shrink and ReplayJson see the
+    // exact config that failed (RunCase's own application is idempotent).
+    RecoveryConfig protocol = EffectiveProtocol(rc);
     FuzzVerdict verdict = RunCase(fuzz_case, protocol);
     if (verdict.failed) {
       return FuzzFailure{seed, fuzz_case, protocol, std::move(verdict)};
@@ -232,6 +249,13 @@ std::string CrashScheduleFuzzer::ReplayJson(const FuzzFailure& failure,
   doc.Set("disable_undo_tagging",
           json::Value::Bool(failure.protocol.disable_undo_tagging));
   doc.Set("recovery_threads", json::Value::Uint(opts_.recovery_threads));
+  doc.Set("group_commit", json::Value::Bool(failure.protocol.group_commit));
+  if (failure.protocol.group_commit) {
+    doc.Set("group_commit_window_ns",
+            json::Value::Uint(failure.protocol.group_commit_window_ns));
+    doc.Set("group_commit_max_batch",
+            json::Value::Uint(failure.protocol.group_commit_max_batch));
+  }
   doc.Set("case", shrunk.ToJson());
   doc.Set("original_case", failure.fuzz_case.ToJson());
   json::Value fail = json::Value::Object();
@@ -257,6 +281,21 @@ Result<CrashScheduleFuzzer::ReplayDoc> CrashScheduleFuzzer::ParseReplay(
   // Absent in documents that predate the parallel pipeline: serial.
   uint64_t threads = doc.GetUint("recovery_threads");
   out.recovery_threads = threads == 0 ? 1 : static_cast<uint32_t>(threads);
+  // Absent in documents that predate the group-commit pipeline: off.
+  out.group_commit = doc.GetBool("group_commit");
+  out.protocol.group_commit = out.group_commit;
+  if (out.group_commit) {
+    uint64_t window = doc.GetUint("group_commit_window_ns");
+    if (window != 0) {
+      out.group_commit_window_ns = window;
+      out.protocol.group_commit_window_ns = window;
+    }
+    uint64_t batch = doc.GetUint("group_commit_max_batch");
+    if (batch != 0) {
+      out.group_commit_max_batch = static_cast<uint32_t>(batch);
+      out.protocol.group_commit_max_batch = static_cast<uint32_t>(batch);
+    }
+  }
   const json::Value* c = doc.Find("case");
   if (c == nullptr) {
     return Status::InvalidArgument("replay: missing case");
@@ -266,6 +305,47 @@ Result<CrashScheduleFuzzer::ReplayDoc> CrashScheduleFuzzer::ParseReplay(
   if (fail != nullptr) {
     out.recorded_kind = fail->GetString("kind");
     out.recorded_detail = fail->GetString("detail");
+  }
+  return out;
+}
+
+FuzzCampaignResult RunFuzzCampaign(const CrashScheduleFuzzer::Options& opts,
+                                   uint64_t seed_start, uint64_t seed_count,
+                                   unsigned jobs) {
+  FuzzCampaignResult out;
+  if (jobs <= 1) {
+    CrashScheduleFuzzer fuzzer(opts);
+    for (uint64_t i = 0; i < seed_count; ++i) {
+      out.failure = fuzzer.RunSeed(seed_start + i);
+      if (out.failure.has_value()) break;
+    }
+    out.stats = fuzzer.stats();
+    return out;
+  }
+  // Sharded: chunks of jobs*4 seeds, each seed in a fresh fuzzer (a seed's
+  // outcome is a pure function of (seed, opts); stats never feed back into
+  // sampling or execution). Folding the per-seed slots in seed order up to
+  // and including the first failure reproduces the serial result exactly —
+  // later seeds in the failing chunk may have run, but their results are
+  // discarded, so the verdict and merged stats are independent of `jobs`.
+  ThreadPool pool(jobs);
+  const uint64_t chunk = static_cast<uint64_t>(jobs) * 4;
+  for (uint64_t base = 0; base < seed_count; base += chunk) {
+    const uint64_t n = std::min(chunk, seed_count - base);
+    std::vector<std::optional<FuzzFailure>> failures(n);
+    std::vector<FuzzStats> stats(n);
+    pool.ParallelFor(static_cast<size_t>(n), [&](size_t i) {
+      CrashScheduleFuzzer fuzzer(opts);
+      failures[i] = fuzzer.RunSeed(seed_start + base + i);
+      stats[i] = fuzzer.stats();
+    });
+    for (uint64_t i = 0; i < n; ++i) {
+      out.stats.Merge(stats[i]);
+      if (failures[i].has_value()) {
+        out.failure = std::move(failures[i]);
+        return out;
+      }
+    }
   }
   return out;
 }

@@ -35,6 +35,18 @@ struct FuzzStats {
   uint64_t crashes_skipped = 0;
   uint64_t whole_machine_restarts = 0;
   uint64_t committed = 0;
+
+  /// Accumulates another (per-seed) stats block; campaign sharding merges
+  /// per-seed fuzzer stats in seed order.
+  void Merge(const FuzzStats& o) {
+    cases += o.cases;
+    runs += o.runs;
+    shrink_runs += o.shrink_runs;
+    crashes_fired += o.crashes_fired;
+    crashes_skipped += o.crashes_skipped;
+    whole_machine_restarts += o.whole_machine_restarts;
+    committed += o.committed;
+  }
 };
 
 /// Randomized crash-schedule fuzzer with deterministic replay.
@@ -67,6 +79,14 @@ class CrashScheduleFuzzer {
     /// "parallel-divergence" failure, and the shrinker minimises it like
     /// any other (RunCase re-runs the whole differential per candidate).
     uint32_t recovery_threads = 1;
+    /// Run every protocol with the group-commit pipeline on (coalesced
+    /// commit and LBM forces). Orthogonal to protocol identity: the same
+    /// IFA predicates must hold, exercising the acknowledgement-after-
+    /// force and crash-time-resolution paths.
+    bool group_commit = false;
+    /// Pipeline knobs when group_commit is set (0 = keep the defaults).
+    uint64_t group_commit_window_ns = 0;
+    uint32_t group_commit_max_batch = 0;
   };
 
   /// The five IFA protocol variants plus the two baselines-as-oracles.
@@ -97,12 +117,22 @@ class CrashScheduleFuzzer {
     RecoveryConfig protocol;
     /// Worker streams the failing run used (1 = plain serial run).
     uint32_t recovery_threads = 1;
+    /// Group-commit pipeline configuration of the failing run (absent in
+    /// older documents: off).
+    bool group_commit = false;
+    uint64_t group_commit_window_ns = 0;
+    uint32_t group_commit_max_batch = 0;
     std::string recorded_kind;
     std::string recorded_detail;
   };
   static Result<ReplayDoc> ParseReplay(const std::string& json_text);
 
   const FuzzStats& stats() const { return stats_; }
+
+  /// Applies the option-level overrides (fault injection, group commit) to
+  /// a protocol. Every run path funnels through this, so the campaign
+  /// runner, the shrinker and replay all agree on the effective config.
+  RecoveryConfig EffectiveProtocol(RecoveryConfig protocol) const;
 
  private:
   /// The differential leg of RunCase: re-runs `base` once per recovery the
@@ -114,6 +144,24 @@ class CrashScheduleFuzzer {
   Options opts_;
   FuzzStats stats_;
 };
+
+/// Result of a (possibly sharded) fuzz campaign over a contiguous seed
+/// range: the first failure in *seed order* (if any) and the stats
+/// accumulated over every seed up to and including the failing one.
+struct FuzzCampaignResult {
+  std::optional<FuzzFailure> failure;
+  FuzzStats stats;
+};
+
+/// Runs seeds [seed_start, seed_start + seed_count) under `opts`, sharded
+/// across `jobs` worker threads. Each seed runs in a fresh fuzzer instance
+/// (a seed's outcome depends only on (seed, opts)), and results are folded
+/// in seed order up to and including the first failure — so the verdict,
+/// the failing seed, and the merged stats are byte-identical to a serial
+/// run regardless of `jobs`.
+FuzzCampaignResult RunFuzzCampaign(const CrashScheduleFuzzer::Options& opts,
+                                   uint64_t seed_start, uint64_t seed_count,
+                                   unsigned jobs);
 
 }  // namespace smdb
 

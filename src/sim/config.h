@@ -42,6 +42,10 @@ struct TimingModel {
   /// Forcing to non-volatile RAM instead of disk (section 7 discusses that
   /// NVRAM could make Stable LBM practical). Used when `nvram_log` is set.
   SimTime nvram_force_ns = 2'000;
+  /// One poll of a pending group commit (deadline check while waiting for
+  /// the coalescing window). Coarser than cpu_op_ns so a full window costs
+  /// a bounded number of executor steps.
+  SimTime group_commit_poll_ns = 5'000;
   /// Random page read / write on a shared disk.
   SimTime disk_read_ns = 5'000'000;
   SimTime disk_write_ns = 5'000'000;

@@ -1,6 +1,7 @@
 #ifndef SMDB_STORAGE_STABLE_LOG_H_
 #define SMDB_STORAGE_STABLE_LOG_H_
 
+#include <iterator>
 #include <vector>
 
 #include "common/types.h"
@@ -17,10 +18,18 @@ class StableLogStore {
  public:
   explicit StableLogStore(uint16_t num_nodes) : streams_(num_nodes) {}
 
-  /// Durably appends `records` to `node`'s stream.
+  /// Durably appends `records` to `node`'s stream in one bulk move (one
+  /// batched disk write in the model; record order — and therefore LSN
+  /// order — is preserved).
   void Append(NodeId node, std::vector<LogRecord> records) {
     auto& s = streams_[node];
-    for (auto& r : records) s.push_back(std::move(r));
+    if (s.empty()) {
+      s = std::move(records);
+      return;
+    }
+    s.reserve(s.size() + records.size());
+    s.insert(s.end(), std::make_move_iterator(records.begin()),
+             std::make_move_iterator(records.end()));
   }
 
   /// All durable records of `node`'s log, in LSN order (the retained

@@ -78,6 +78,15 @@ bool NodeExecutor::Step() {
     phase_ = Phase::kRunning;
   }
 
+  if (phase_ == Phase::kWaitingCommit && txn_ != nullptr &&
+      txn_->state == TxnState::kCommitted) {
+    // The pending group commit was completed externally (crash-time
+    // resolution found its record durable) while we were polling.
+    ++stats_.committed;
+    FinishScript();
+    return true;
+  }
+
   if (txn_ != nullptr && txn_->state != TxnState::kActive) {
     // The transaction was annulled or force-aborted underneath us (crash
     // recovery, baseline protocols). Restart the script as a fresh
@@ -108,6 +117,19 @@ bool NodeExecutor::Step() {
     // it completes without queueing).
   }
 
+  if (phase_ == Phase::kWaitingCommit) {
+    Status s = tm_->PollCommit(txn_);
+    if (s.ok()) {
+      ++stats_.committed;
+      FinishScript();
+    } else if (s.IsBusy()) {
+      ++stats_.commit_waits;
+    } else {
+      HandleAbort(false);
+    }
+    return true;
+  }
+
   if (op_index_ >= current_->ops.size()) {
     // Implied commit.
     Status s = tm_->Commit(txn_);
@@ -115,6 +137,10 @@ bool NodeExecutor::Step() {
     if (s.ok()) {
       ++stats_.committed;
       FinishScript();
+    } else if (s.IsBusy()) {
+      // Group commit pending: keep the script alive and poll.
+      phase_ = Phase::kWaitingCommit;
+      ++stats_.commit_waits;
     } else {
       HandleAbort(false);
     }
@@ -143,6 +169,12 @@ bool NodeExecutor::Step() {
     return true;
   }
   if (s.IsBusy()) {
+    if (op.kind == Op::Kind::kCommit) {
+      // Group commit pending (not a lock conflict): poll the pipeline.
+      phase_ = Phase::kWaitingCommit;
+      ++stats_.commit_waits;
+      return true;
+    }
     // Lock queued; remember what we wait for and poll on later steps.
     phase_ = Phase::kWaitingLock;
     waiting_name_ = (op.kind == Op::Kind::kIndexInsert ||
@@ -163,7 +195,12 @@ bool NodeExecutor::Step() {
 
 Status NodeExecutor::Quiesce() {
   if (txn_ != nullptr && txn_->state == TxnState::kActive) {
-    SMDB_RETURN_IF_ERROR(tm_->Abort(txn_));
+    // A pending group commit whose record an unrelated force already made
+    // durable is committed, not abortable — complete it; otherwise roll
+    // back (withdrawing any still-volatile pending commit record).
+    if (!tm_->TryFinishDurablePendingCommit(txn_)) {
+      SMDB_RETURN_IF_ERROR(tm_->Abort(txn_));
+    }
   }
   queue_.clear();
   FinishScript();
@@ -223,6 +260,7 @@ ExecutorStats SystemExecutor::TotalStats() const {
     total.retries += ex->stats().retries;
     total.ops_executed += ex->stats().ops_executed;
     total.lock_waits += ex->stats().lock_waits;
+    total.commit_waits += ex->stats().commit_waits;
   }
   return total;
 }

@@ -63,6 +63,9 @@ struct ExecutorStats {
   uint64_t retries = 0;
   uint64_t ops_executed = 0;
   uint64_t lock_waits = 0;
+  /// Steps spent polling a pending group commit (Busy from Commit or
+  /// PollCommit while the coalescing window is open).
+  uint64_t commit_waits = 0;
 
   void Reset() { *this = ExecutorStats(); }
 };
@@ -98,7 +101,7 @@ class NodeExecutor {
   ExecutorStats& stats() { return stats_; }
 
  private:
-  enum class Phase : uint8_t { kIdle, kRunning, kWaitingLock };
+  enum class Phase : uint8_t { kIdle, kRunning, kWaitingLock, kWaitingCommit };
 
   Status ExecuteOp(const Op& op);
   void FinishScript();

@@ -5,6 +5,7 @@
 
 #include "db/page_layout.h"
 #include "sim/machine.h"
+#include "wal/group_commit.h"
 
 namespace smdb {
 
@@ -287,17 +288,58 @@ Result<std::optional<RecordId>> TxnManager::IndexLookup(Transaction* txn,
 }
 
 Status TxnManager::Commit(Transaction* txn) {
+  return CommitImpl(txn, /*allow_group=*/true);
+}
+
+Status TxnManager::CommitImpl(Transaction* txn, bool allow_group) {
   assert(txn->state == TxnState::kActive);
   NodeId node = txn->node();
 
-  // 1. Commit record + force: the durable commit point.
+  // 1. Commit record + force: the durable commit point. With the
+  // group-commit pipeline the force is deferred — the record joins the
+  // node's pending batch and the transaction stays kActive (holding its
+  // locks) until a covering force lands. Acknowledgement strictly after
+  // durability preserves IFA: no observer learns of the commit while a
+  // crash could still annul it.
   LogRecord rec;
   rec.type = LogRecordType::kCommit;
   rec.txn = txn->id;
   rec.prev_lsn = txn->last_lsn;
   rec.payload = CommitPayload{};
   txn->last_lsn = log_->Append(node, std::move(rec));
+  if (allow_group && gc_ != nullptr) {
+    SMDB_RETURN_IF_ERROR(gc_->EnqueueCommit(node, txn->id, txn->last_lsn));
+    if (!log_->IsStable(node, txn->last_lsn)) {
+      return Status::Busy("commit pending group force");
+    }
+    // The enqueue itself tripped the size bound (or the record was already
+    // covered): complete immediately.
+    gc_->DropCommit(txn->id);
+    return FinishCommit(txn);
+  }
   SMDB_RETURN_IF_ERROR(log_->Force(node, node));
+  return FinishCommit(txn);
+}
+
+Status TxnManager::PollCommit(Transaction* txn) {
+  if (gc_ == nullptr) {
+    return Status::InvalidArgument("group commit is not enabled");
+  }
+  if (txn->state == TxnState::kCommitted) return Status::Ok();
+  if (txn->state != TxnState::kActive) {
+    return Status::InvalidArgument("polled transaction is not pending");
+  }
+  NodeId node = txn->node();
+  SMDB_RETURN_IF_ERROR(gc_->Poll(node));
+  if (!log_->IsStable(node, txn->last_lsn)) {
+    return Status::Busy("commit pending group force");
+  }
+  gc_->DropCommit(txn->id);
+  return FinishCommit(txn);
+}
+
+Status TxnManager::FinishCommit(Transaction* txn) {
+  NodeId node = txn->node();
 
   // 2. Clear undo tags ("once the data is no longer active, the node ID is
   // assigned a null value"). Safe after the commit point: the restart
@@ -340,6 +382,45 @@ Status TxnManager::Commit(Transaction* txn) {
   ++stats_.commits;
   NotifyCommit(txn->id);
   return Status::Ok();
+}
+
+Status TxnManager::ResolvePendingCommits() {
+  resolved_commit_ids_.clear();
+  if (gc_ == nullptr) return Status::Ok();
+  for (const auto& [node, pc] : gc_->PendingCommits()) {
+    if (!log_->IsStable(node, pc.lsn)) continue;
+    Transaction* txn = Find(pc.txn);
+    gc_->DropCommit(pc.txn);
+    if (txn == nullptr || txn->state != TxnState::kActive) continue;
+    // The commit record is durable, so the transaction is committed — its
+    // log decides — whether or not its node survived. We cannot run the
+    // normal acknowledgement here: the node may be dead, and even on a
+    // live node the machine is mid-crash (a line holding one of the
+    // transaction's records may have migrated to the crashed node and not
+    // be restored yet). Complete the bookkeeping only; RecoverLockTable
+    // drops the LCB entries via resolved_commit_ids(), and leftover undo
+    // tags are cleared lazily by the tag scan's stale-committed path
+    // (identical to a crash landing between a synchronous commit's force
+    // and its tag clears).
+    txn->granted_locks.clear();
+    txn->queued_locks.clear();
+    waiting_for_.erase(txn->id);
+    txn->state = TxnState::kCommitted;
+    if (deps_ != nullptr) deps_->OnTxnEnd(txn->id);
+    ++stats_.commits;
+    NotifyCommit(txn->id);
+    resolved_commit_ids_.insert(txn->id);
+  }
+  return Status::Ok();
+}
+
+bool TxnManager::TryFinishDurablePendingCommit(Transaction* txn) {
+  if (gc_ == nullptr || txn->state != TxnState::kActive) return false;
+  Lsn lsn = gc_->PendingCommitLsn(txn->id);
+  if (lsn == kInvalidLsn) return false;
+  if (!log_->IsStable(txn->node(), lsn)) return false;
+  gc_->DropCommit(txn->id);
+  return FinishCommit(txn).ok();
 }
 
 Status TxnManager::ApplyUndoUpdate(NodeId performer, const LogRecord& rec,
@@ -425,6 +506,23 @@ Status TxnManager::Abort(Transaction* txn) {
   assert(txn->state == TxnState::kActive);
   NodeId node = txn->node();
 
+  if (gc_ != nullptr) {
+    // Withdraw a pending group commit before undoing anything. Once the
+    // commit record is durable the transaction is committed — its log
+    // decides — and can no longer abort.
+    Lsn pending = gc_->PendingCommitLsn(txn->id);
+    if (pending != kInvalidLsn) {
+      if (log_->IsStable(node, pending)) {
+        return Status::InvalidArgument("cannot abort: commit already durable");
+      }
+      gc_->DropCommit(txn->id);
+      // The withdrawn record leaves an LSN gap and txn->last_lsn keeps
+      // pointing at it; both are harmless — redo is USN-guarded and no
+      // recovery scan follows prev_lsn chains or requires contiguity.
+      log_->AnnulVolatile(node, pending);
+    }
+  }
+
   // Collect this transaction's loggable operations from its own (intact)
   // log: durable prefix plus volatile tail.
   std::vector<LogRecord> ops;
@@ -496,9 +594,12 @@ Status TxnManager::CommitParallel(ParallelTxn* ptxn) {
   // Phase 2: per-branch commits. Atomic with respect to crashes in the
   // simulator's execution model (operations never interleave with crash
   // injection); a real implementation would write a single group-commit
-  // record through the coordinator.
+  // record through the coordinator. Always synchronous — the group-wide
+  // atomicity argument relies on the per-branch commits being durable
+  // within this one crash-atomic operation, so the coalescing pipeline is
+  // bypassed here.
   for (Transaction* t : ptxn->branches) {
-    SMDB_RETURN_IF_ERROR(Commit(t));
+    SMDB_RETURN_IF_ERROR(CommitImpl(t, /*allow_group=*/false));
   }
   return Status::Ok();
 }
@@ -519,6 +620,7 @@ const std::vector<TxnId>* TxnManager::GroupOf(TxnId branch) const {
 
 void TxnManager::MarkCrashAnnulled(Transaction* txn) {
   if (txn->state != TxnState::kActive) return;
+  if (gc_ != nullptr) gc_->DropCommit(txn->id);
   txn->state = TxnState::kAborted;
   txn->granted_locks.clear();
   txn->queued_locks.clear();

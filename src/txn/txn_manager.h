@@ -23,6 +23,7 @@
 namespace smdb {
 
 class Machine;
+class GroupCommitPipeline;
 
 struct TxnManagerStats {
   uint64_t begins = 0;
@@ -53,7 +54,42 @@ class TxnManager {
   Transaction* Begin(NodeId node);
 
   /// Commits: forces the commit record, clears undo tags, releases locks.
+  /// With the group-commit pipeline attached, the commit record is
+  /// enqueued instead of forced; Busy means the transaction is *pending* —
+  /// appended but not yet durable — and the caller must PollCommit until
+  /// Ok (acknowledged) or the transaction is annulled by a crash.
   Status Commit(Transaction* txn);
+
+  /// Polls a pending group commit: forces when the coalescing window has
+  /// expired, acknowledges (tags, locks, state, observers) once a covering
+  /// force has landed. Ok = committed; Busy = still pending.
+  Status PollCommit(Transaction* txn);
+
+  /// Attaches the group-commit pipeline (Database wiring; null = classic
+  /// synchronous commit forces).
+  void SetGroupCommit(GroupCommitPipeline* gc) { gc_ = gc; }
+
+  /// Crash-time resolution of the pipeline, run after the crash hooks and
+  /// before restart recovery classifies transactions: every pending commit
+  /// whose covering force landed (by the size bound, the WAL flush gate, a
+  /// checkpoint, or an LBM force) is durably committed even though no one
+  /// acknowledged it yet. Each gets a lightweight completion (state +
+  /// observers; no machine operations — the machine is mid-crash), with
+  /// locks dropped by RecoverLockTable via resolved_commit_ids() and
+  /// leftover undo tags cleared by the tag scan's stale-committed path.
+  Status ResolvePendingCommits();
+
+  /// If `txn` has a pending commit whose record became durable (e.g. a
+  /// recovery-pass force covered it mid-recovery), completes the commit
+  /// and returns true: the transaction can no longer be aborted.
+  bool TryFinishDurablePendingCommit(Transaction* txn);
+
+  /// Transactions completed posthumously by the last ResolvePendingCommits
+  /// (dead-node lightweight completions whose surviving LCB entries the
+  /// next RecoverLockTable pass must drop).
+  const std::set<TxnId>& resolved_commit_ids() const {
+    return resolved_commit_ids_;
+  }
 
   /// Rolls back using this node's (intact) log, writing CLRs; releases
   /// locks.
@@ -161,6 +197,15 @@ class TxnManager {
   /// True if txn waiting for `name` would deadlock.
   bool WouldDeadlock(Transaction* txn, uint64_t name);
 
+  /// Appends the commit record; with `allow_group` and a pipeline
+  /// attached, enqueues it (Busy until durable), else forces synchronously
+  /// and finishes.
+  Status CommitImpl(Transaction* txn, bool allow_group);
+
+  /// Acknowledgement half of a commit whose record is already durable:
+  /// clears undo tags, releases locks, transitions state, notifies.
+  Status FinishCommit(Transaction* txn);
+
   /// The in-place update protocol of sections 5.1/6: line locks on the
   /// Page-LSN line and the record line, write, log, LBM hook, release.
   Status DoUpdate(Transaction* txn, RecordId rid,
@@ -180,7 +225,9 @@ class TxnManager {
   LbmPolicy* lbm_;
   UsnSource* usn_;
   DependencyTracker* deps_;  // may be null
+  GroupCommitPipeline* gc_ = nullptr;  // may be null (group commit off)
   RecoveryConfig config_;
+  std::set<TxnId> resolved_commit_ids_;
 
   std::map<TxnId, std::unique_ptr<Transaction>> txns_;
   std::map<TxnId, uint64_t> waiting_for_;  // txn -> lock name being awaited

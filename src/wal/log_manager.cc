@@ -28,19 +28,36 @@ Status LogManager::Force(NodeId requestor, NodeId node) {
     return Status::NodeFailed("cannot force log of crashed node");
   }
   auto& tail = tails_[node];
-  ++stats_.forces;
-  const auto& timing = machine_->config().timing;
-  machine_->Tick(requestor, machine_->config().nvram_log
-                                ? timing.nvram_force_ns
-                                : timing.log_force_ns);
   if (!tail.empty()) {
-    stats_.forced_records += tail.size();
+    const size_t batch_size = tail.size();
+    ++stats_.forces;
+    stats_.forced_records += batch_size;
+    ++stats_.force_batch_hist[LogStats::BatchBucket(batch_size)];
+    if (batch_size > stats_.max_force_batch) {
+      stats_.max_force_batch = batch_size;
+    }
+    const auto& timing = machine_->config().timing;
+    machine_->Tick(requestor, machine_->config().nvram_log
+                                  ? timing.nvram_force_ns
+                                  : timing.log_force_ns);
     std::vector<LogRecord> batch(tail.begin(), tail.end());
     tail.clear();
     stable_->Append(node, std::move(batch));
   }
+  // Hooks fire even for the empty no-op force: observers learn "this log
+  // is stable through its last append", which is just as true.
   for (const auto& hook : force_hooks_) hook(node);
   return Status::Ok();
+}
+
+void LogManager::AnnulVolatile(NodeId node, Lsn lsn) {
+  auto& tail = tails_[node];
+  for (auto it = tail.begin(); it != tail.end(); ++it) {
+    if (it->lsn == lsn) {
+      tail.erase(it);
+      return;
+    }
+  }
 }
 
 bool LogManager::IsStable(NodeId node, Lsn lsn) const {

@@ -1,6 +1,8 @@
 #ifndef SMDB_WAL_LOG_MANAGER_H_
 #define SMDB_WAL_LOG_MANAGER_H_
 
+#include <array>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <vector>
@@ -17,13 +19,39 @@ class Machine;
 /// Statistics for the logging subsystem, used by the Table 1 and
 /// log-force-frequency experiments.
 struct LogStats {
+  /// Batch-size histogram buckets for forces: 1, 2, 3-4, 5-8, 9-16, 17-32,
+  /// 33-64, 65+ records per force. The group-commit experiments read the
+  /// mass shifting rightwards as the coalescing window grows.
+  static constexpr size_t kBatchBuckets = 8;
+
   uint64_t appends = 0;
+  /// Forces that actually wrote records. A force of an empty tail is a
+  /// no-op (no I/O is issued), so forces <= forced_records always holds.
   uint64_t forces = 0;
+  /// Records made durable, counted once per force from the batch actually
+  /// written.
   uint64_t forced_records = 0;
   uint64_t truncated_records = 0;
   /// Forces attributable to the Stable LBM policy (in excess of the commit
   /// forces every protocol performs). Incremented by the LBM policies.
   uint64_t lbm_forces = 0;
+  std::array<uint64_t, kBatchBuckets> force_batch_hist{};
+  uint64_t max_force_batch = 0;
+
+  /// Bucket index for a force of `n` records (n >= 1).
+  static size_t BatchBucket(size_t n) {
+    size_t b = 0;
+    for (size_t upper = 1; b + 1 < kBatchBuckets && n > upper; ++b) {
+      upper *= 2;
+    }
+    return b;
+  }
+  static const char* BatchBucketLabel(size_t bucket) {
+    static const char* kLabels[kBatchBuckets] = {"1",     "2",     "3-4",
+                                                 "5-8",   "9-16",  "17-32",
+                                                 "33-64", "65+"};
+    return kLabels[bucket];
+  }
 
   void Reset() { *this = LogStats(); }
 };
@@ -45,8 +73,18 @@ class LogManager {
 
   /// Forces `node`'s entire volatile tail to stable storage. `requestor`
   /// pays the I/O cost (it may differ from `node`, e.g. when the WAL page-
-  /// flush gate forces another node's log, section 6).
+  /// flush gate forces another node's log, section 6). Forcing an empty
+  /// tail issues no I/O and counts no force — but force hooks still fire,
+  /// so observers (triggered LBM, the group-commit pipeline) always see a
+  /// consistent "everything appended so far is durable" signal.
   Status Force(NodeId requestor, NodeId node);
+
+  /// Removes the record at `lsn` from `node`'s volatile tail (a withdrawn
+  /// group commit: the transaction aborts before its commit record was
+  /// forced). No-op if the record already left the tail. The resulting LSN
+  /// gap is harmless — redo is USN-guarded and every recovery scan is
+  /// keyed by transaction and record type, never by LSN contiguity.
+  void AnnulVolatile(NodeId node, Lsn lsn);
 
   /// True if `node`'s log is stable through `lsn`.
   bool IsStable(NodeId node, Lsn lsn) const;

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
+#include "storage/stable_log.h"
 
 namespace smdb {
 namespace {
@@ -181,6 +182,32 @@ TEST(ThreadPoolTest, ReusableAcrossParallelForCalls) {
     total += std::accumulate(slot.begin(), slot.end(), uint64_t{0});
   }
   EXPECT_EQ(total, 50u * (17u * 18u / 2u));
+}
+
+TEST(StableLogStoreTest, BulkAppendPreservesLsnOrder) {
+  StableLogStore store(2);
+  auto batch = [](Lsn first, size_t n) {
+    std::vector<LogRecord> out;
+    for (size_t i = 0; i < n; ++i) {
+      LogRecord rec;
+      rec.lsn = first + static_cast<Lsn>(i);
+      rec.node = 0;
+      out.push_back(std::move(rec));
+    }
+    return out;
+  };
+  // First append takes the empty-stream fast path, the rest the bulk-move
+  // insert; both must keep the stream in LSN order across batch boundaries.
+  store.Append(0, batch(1, 3));
+  store.Append(0, batch(4, 1));
+  store.Append(0, batch(5, 64));
+  const auto& recs = store.Records(0);
+  ASSERT_EQ(recs.size(), 68u);
+  for (size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].lsn, static_cast<Lsn>(i + 1));
+  }
+  EXPECT_EQ(store.LastLsn(0), 68u);
+  EXPECT_EQ(store.LastLsn(1), kInvalidLsn);
 }
 
 }  // namespace

@@ -15,8 +15,16 @@
 //      documents record the thread count, and the shrinker minimises
 //      failures through the differential predicate.
 
+//   5. Campaign sharding (RunFuzzCampaign with jobs > 1) is invisible in
+//      the results: the verdict, the failing seed, the merged stats, and
+//      the replay document are byte-identical to a serial campaign.
+//   6. The group-commit pipeline composes with the fuzzer: campaigns with
+//      group_commit on stay clean under every protocol, and replay
+//      documents round-trip the pipeline knobs.
+
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <optional>
 #include <string>
 
@@ -154,6 +162,106 @@ TEST(FuzzSmoke, ShrinkerMinimisesThroughTheDifferentialPredicate) {
   FuzzCase shrunk = fuzzer.Shrink(*failure);
   FuzzVerdict direct = fuzzer.RunCase(shrunk, failure->protocol);
   EXPECT_TRUE(direct.failed) << "shrunk case no longer fails differentially";
+}
+
+TEST(FuzzSmoke, CampaignShardingIsDeterministic) {
+  // The undo-tagging fault guarantees a failure inside the seed range, so
+  // this exercises the interesting path: a failing chunk whose later seeds
+  // must be discarded. Verdict, failing seed, merged stats, and the replay
+  // document must not depend on the job count.
+  CrashScheduleFuzzer::Options opts;
+  opts.protocols = {RecoveryConfig::VolatileSelectiveRedo()};
+  opts.disable_undo_tagging = true;
+  FuzzCampaignResult serial = RunFuzzCampaign(opts, 0, 60, 1);
+  FuzzCampaignResult sharded = RunFuzzCampaign(opts, 0, 60, 4);
+
+  ASSERT_TRUE(serial.failure.has_value());
+  ASSERT_TRUE(sharded.failure.has_value());
+  EXPECT_EQ(serial.failure->seed, sharded.failure->seed);
+  EXPECT_EQ(serial.failure->verdict.kind, sharded.failure->verdict.kind);
+  EXPECT_EQ(serial.failure->verdict.detail, sharded.failure->verdict.detail);
+  EXPECT_EQ(serial.failure->fuzz_case.ToJson().Dump(),
+            sharded.failure->fuzz_case.ToJson().Dump());
+
+  EXPECT_EQ(serial.stats.cases, sharded.stats.cases);
+  EXPECT_EQ(serial.stats.runs, sharded.stats.runs);
+  EXPECT_EQ(serial.stats.crashes_fired, sharded.stats.crashes_fired);
+  EXPECT_EQ(serial.stats.crashes_skipped, sharded.stats.crashes_skipped);
+  EXPECT_EQ(serial.stats.whole_machine_restarts,
+            sharded.stats.whole_machine_restarts);
+  EXPECT_EQ(serial.stats.committed, sharded.stats.committed);
+
+  // Replay serialization depends only on (opts, failure) — byte-identical.
+  CrashScheduleFuzzer f1(opts);
+  CrashScheduleFuzzer f2(opts);
+  EXPECT_EQ(f1.ReplayJson(*serial.failure, serial.failure->fuzz_case),
+            f2.ReplayJson(*sharded.failure, sharded.failure->fuzz_case));
+}
+
+TEST(FuzzSmoke, GroupCommitCampaignRunsCleanUnderAllProtocols) {
+  // Group commit is orthogonal to protocol identity: the same seeds that
+  // are clean synchronously must stay clean with coalesced forces — the
+  // acknowledgement-after-force discipline means no observer ever sees a
+  // commit a crash could annul.
+  CrashScheduleFuzzer::Options opts;
+  opts.group_commit = true;
+  FuzzCampaignResult result = RunFuzzCampaign(opts, 0, 20, 2);
+  ASSERT_FALSE(result.failure.has_value())
+      << "seed " << result.failure->seed << " failed under "
+      << result.failure->protocol.Name() << ": ["
+      << result.failure->verdict.kind << "] "
+      << result.failure->verdict.detail;
+  EXPECT_EQ(result.stats.cases, 20u);
+  EXPECT_GT(result.stats.committed, 0u);
+  EXPECT_GT(result.stats.crashes_fired, 0u);
+}
+
+TEST(FuzzSmoke, GroupCommitKnobsRoundTripThroughReplays) {
+  CrashScheduleFuzzer::Options opts;
+  opts.protocols = {RecoveryConfig::StableEagerRedoAll()};
+  opts.group_commit = true;
+  opts.group_commit_window_ns = 50'000;
+  opts.group_commit_max_batch = 16;
+  CrashScheduleFuzzer fuzzer(opts);
+
+  FuzzFailure failure;
+  failure.seed = 3;
+  failure.fuzz_case = SampleFuzzCase(3);
+  failure.protocol =
+      fuzzer.EffectiveProtocol(RecoveryConfig::StableEagerRedoAll());
+  failure.verdict = {true, "ifa-verify", "synthetic"};
+  std::string text = fuzzer.ReplayJson(failure, failure.fuzz_case);
+  auto doc = CrashScheduleFuzzer::ParseReplay(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc->group_commit);
+  EXPECT_EQ(doc->group_commit_window_ns, 50'000u);
+  EXPECT_EQ(doc->group_commit_max_batch, 16u);
+  EXPECT_TRUE(doc->protocol.group_commit);
+  EXPECT_EQ(doc->protocol.group_commit_window_ns, 50'000u);
+  EXPECT_EQ(doc->protocol.group_commit_max_batch, 16u);
+}
+
+TEST(FuzzSmoke, EnvDrivenCampaignMatrix) {
+  // CI hook: SMDB_FUZZ_GROUP_COMMIT=1 / SMDB_FUZZ_JOBS=N re-run a slice of
+  // the default campaign in the sanitizer build's configuration without a
+  // dedicated test binary per matrix cell. Unset, this is a plain small
+  // serial campaign.
+  CrashScheduleFuzzer::Options opts;
+  const char* gc = std::getenv("SMDB_FUZZ_GROUP_COMMIT");
+  opts.group_commit = gc != nullptr && std::string(gc) == "1";
+  const char* jobs_env = std::getenv("SMDB_FUZZ_JOBS");
+  unsigned jobs = 1;
+  if (jobs_env != nullptr) {
+    int v = std::atoi(jobs_env);
+    if (v > 0) jobs = static_cast<unsigned>(v);
+  }
+  FuzzCampaignResult result = RunFuzzCampaign(opts, 100, 10, jobs);
+  ASSERT_FALSE(result.failure.has_value())
+      << "seed " << result.failure->seed << " failed under "
+      << result.failure->protocol.Name() << ": ["
+      << result.failure->verdict.kind << "] "
+      << result.failure->verdict.detail;
+  EXPECT_EQ(result.stats.cases, 10u);
 }
 
 }  // namespace

@@ -447,5 +447,104 @@ TEST(RecoveryEdgeTest, BackToBackCrashes) {
       << fx.checker.VerifyAll().ToString();
 }
 
+// Group commit: a crash after the commit record is enqueued but before any
+// covering force means the transaction was never acknowledged — it must be
+// annulled, and the record must keep its pre-transaction value.
+TEST(RecoveryEdgeTest, GroupCommitCrashBeforeFlushAnnulsPending) {
+  RecoveryConfig rc = RecoveryConfig::VolatileSelectiveRedo();
+  rc.group_commit = true;
+  rc.group_commit_window_ns = 10'000'000;  // far beyond the test's horizon
+  rc.group_commit_max_batch = 64;
+  Fx fx(rc);
+  RecordId r = fx.table[0];
+  Transaction* t1 = fx.db.txn().Begin(1);
+  ASSERT_TRUE(fx.db.txn().Update(t1, r, Value(0x77)).ok());
+  Status s = fx.db.txn().Commit(t1);
+  ASSERT_TRUE(s.IsBusy()) << s.ToString();  // pending, unacknowledged
+  EXPECT_EQ(t1->state, TxnState::kActive);
+  auto outcome = fx.db.Crash({1});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(t1->state, TxnState::kAborted);  // annulled, never committed
+  EXPECT_TRUE(fx.checker.VerifyAll().ok())
+      << fx.checker.VerifyAll().ToString();
+  auto slot = fx.db.records().SnoopSlot(r);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(slot->data, Value(0));  // pre-transaction value
+}
+
+// Group commit under the eager-Stable LBM: the batch mixes update records
+// (LBM intents) with commit records. A size-bound flush mid-stream makes
+// the earlier transaction durable; the later one is still volatile when
+// the node dies. Recovery must commit the first and annul the second.
+TEST(RecoveryEdgeTest, GroupCommitCrashMidBatchMixedRecords) {
+  RecoveryConfig rc = RecoveryConfig::StableEagerRedoAll();
+  rc.group_commit = true;
+  rc.group_commit_window_ns = 10'000'000;
+  // a's records (begin, lock op, update, commit) stay under the bound; b's
+  // update intent pushes past it and flushes the mixed batch.
+  rc.group_commit_max_batch = 6;
+  Fx fx(rc);
+  RecordId r = fx.table[0];
+  Transaction* a = fx.db.txn().Begin(1);
+  ASSERT_TRUE(fx.db.txn().Update(a, r, Value(0x44)).ok());
+  ASSERT_TRUE(fx.db.txn().Commit(a).IsBusy());  // pending in the batch
+  // b's update lands in the same batch and its LBM intent trips the size
+  // bound: the flush makes a's commit record durable, but a stays
+  // unacknowledged (nobody polled it yet).
+  Transaction* b = fx.db.txn().Begin(1);
+  ASSERT_TRUE(fx.db.txn().Update(b, fx.table[1], Value(0x55)).ok());
+  EXPECT_GE(fx.db.group_commit()->stats().size_flushes, 1u);
+  ASSERT_TRUE(fx.db.log().IsStable(1, a->last_lsn));
+  EXPECT_EQ(a->state, TxnState::kActive);
+  ASSERT_TRUE(fx.db.txn().Commit(b).IsBusy());  // volatile again after flush
+  auto outcome = fx.db.Crash({1});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(a->state, TxnState::kCommitted);  // durable ⇒ resolved
+  EXPECT_EQ(b->state, TxnState::kAborted);
+  EXPECT_TRUE(fx.checker.VerifyAll().ok())
+      << fx.checker.VerifyAll().ToString();
+  auto slot = fx.db.records().SnoopSlot(r);
+  auto slot_b = fx.db.records().SnoopSlot(fx.table[1]);
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(slot_b.ok());
+  EXPECT_EQ(slot->data, Value(0x44));    // a redone
+  EXPECT_EQ(slot_b->data, Value(0));     // b annulled
+}
+
+// RebootAll with a non-empty pending batch: a pending commit whose record
+// an unrelated force made durable is committed by crash-time resolution; a
+// still-volatile pending commit is annulled with everything else.
+TEST(RecoveryEdgeTest, GroupCommitRebootAllWithPendingBatch) {
+  RecoveryConfig rc = RecoveryConfig::BaselineRebootAll();
+  rc.group_commit = true;
+  rc.group_commit_window_ns = 10'000'000;
+  rc.group_commit_max_batch = 64;
+  Fx fx(rc);
+  RecordId rp = fx.table[0];
+  RecordId rq = fx.table[1];
+  Transaction* p = fx.db.txn().Begin(1);
+  ASSERT_TRUE(fx.db.txn().Update(p, rp, Value(0x66)).ok());
+  ASSERT_TRUE(fx.db.txn().Commit(p).IsBusy());  // volatile pending
+  Transaction* q = fx.db.txn().Begin(2);
+  ASSERT_TRUE(fx.db.txn().Update(q, rq, Value(0x99)).ok());
+  ASSERT_TRUE(fx.db.txn().Commit(q).IsBusy());
+  // An unrelated force (as the WAL gate or a checkpoint would issue) makes
+  // q's batch durable; q stays unacknowledged until polled — the crash
+  // arrives first.
+  ASSERT_TRUE(fx.db.log().Force(2, 2).ok());
+  auto outcome = fx.db.Crash({1});
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(p->state, TxnState::kAborted);    // record lost with node 1
+  EXPECT_EQ(q->state, TxnState::kCommitted);  // durable ⇒ resolved
+  EXPECT_TRUE(fx.checker.VerifyAll().ok())
+      << fx.checker.VerifyAll().ToString();
+  auto sp = fx.db.records().SnoopSlot(rp);
+  auto sq = fx.db.records().SnoopSlot(rq);
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(sq.ok());
+  EXPECT_EQ(sp->data, Value(0));
+  EXPECT_EQ(sq->data, Value(0x99));
+}
+
 }  // namespace
 }  // namespace smdb

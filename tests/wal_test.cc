@@ -74,9 +74,57 @@ TEST(LogManagerTest, NvramForceIsCheap) {
   Machine m(c);
   StableLogStore stable(2);
   LogManager log(&m, &stable);
+  LogRecord rec;
+  rec.type = LogRecordType::kBegin;
+  rec.txn = MakeTxnId(0, 1);
+  rec.payload = BeginPayload{};
+  log.Append(0, std::move(rec));
   SimTime t0 = m.NodeClock(0);
   ASSERT_TRUE(log.Force(0, 0).ok());
   EXPECT_EQ(m.NodeClock(0), t0 + c.timing.nvram_force_ns);
+}
+
+TEST(LogManagerTest, EmptyForceIsFreeButCounted) {
+  WalFixture f;
+  SimTime t0 = f.machine.NodeClock(0);
+  ASSERT_TRUE(f.log.Force(0, 0).ok());
+  // No records moved: no I/O time charged, no force counted.
+  EXPECT_EQ(f.machine.NodeClock(0), t0);
+  EXPECT_EQ(f.log.stats().forces, 0u);
+  EXPECT_EQ(f.log.stats().forced_records, 0u);
+}
+
+TEST(LogManagerTest, ForceBatchAccounting) {
+  WalFixture f;
+  TxnId t = MakeTxnId(0, 1);
+  f.log.Append(0, f.Update(t, {1, 0}, 1));
+  ASSERT_TRUE(f.log.Force(0, 0).ok());
+  for (uint64_t u = 2; u <= 6; ++u) {
+    f.log.Append(0, f.Update(t, {1, 0}, u));
+  }
+  ASSERT_TRUE(f.log.Force(0, 0).ok());
+  const LogStats& s = f.log.stats();
+  EXPECT_EQ(s.forces, 2u);
+  EXPECT_EQ(s.forced_records, 6u);
+  // Every force makes at least one record durable.
+  EXPECT_LE(s.forces, s.forced_records);
+  EXPECT_EQ(s.max_force_batch, 5u);
+  EXPECT_EQ(s.force_batch_hist[LogStats::BatchBucket(1)], 1u);
+  EXPECT_EQ(s.force_batch_hist[LogStats::BatchBucket(5)], 1u);
+}
+
+TEST(LogManagerTest, BatchBucketsCoverPowersOfTwo) {
+  EXPECT_EQ(LogStats::BatchBucket(1), 0u);
+  EXPECT_EQ(LogStats::BatchBucket(2), 1u);
+  EXPECT_EQ(LogStats::BatchBucket(3), 2u);
+  EXPECT_EQ(LogStats::BatchBucket(4), 2u);
+  EXPECT_EQ(LogStats::BatchBucket(5), 3u);
+  EXPECT_EQ(LogStats::BatchBucket(8), 3u);
+  EXPECT_EQ(LogStats::BatchBucket(64), 6u);
+  EXPECT_EQ(LogStats::BatchBucket(65), 7u);
+  EXPECT_EQ(LogStats::BatchBucket(100000), 7u);
+  EXPECT_STREQ(LogStats::BatchBucketLabel(0), "1");
+  EXPECT_STREQ(LogStats::BatchBucketLabel(7), "65+");
 }
 
 TEST(LogManagerTest, CrashDestroysVolatileTailOnly) {

@@ -35,6 +35,10 @@ struct Flags {
   bool shrink = true;
   bool verbose = false;
   uint64_t recovery_threads = 1;
+  uint64_t jobs = 1;
+  bool group_commit = false;
+  uint64_t group_commit_window = 0;
+  uint64_t group_commit_max_batch = 0;
   std::string out_path = "smdb_fuzz_failure.json";
   std::string replay_path;
 };
@@ -55,6 +59,15 @@ void Usage() {
       "                        every recovery re-runs at N worker streams\n"
       "                        and must produce the serial run's state\n"
       "                        digest (default 1 = off)\n"
+      "  --jobs=N              shard seeds across N worker threads; the\n"
+      "                        verdict, stats, and replay file are\n"
+      "                        byte-identical to --jobs=1 (default 1)\n"
+      "  --group-commit        run every protocol with the group-commit\n"
+      "                        log-force pipeline on\n"
+      "  --group-commit-window=NS   coalescing window in sim-ns (0 = keep\n"
+      "                        the protocol default)\n"
+      "  --group-commit-max-batch=N size bound on a coalesced batch (0 =\n"
+      "                        keep the protocol default)\n"
       "  --no-shrink           keep the original failing schedule\n"
       "  --out=FILE            replay file path (default "
       "smdb_fuzz_failure.json)\n"
@@ -65,7 +78,8 @@ void Usage() {
 bool TakesValue(const std::string& key) {
   return key == "--seeds" || key == "--seed-start" || key == "--protocol" ||
          key == "--break" || key == "--out" || key == "--replay" ||
-         key == "--recovery-threads";
+         key == "--recovery-threads" || key == "--jobs" ||
+         key == "--group-commit-window" || key == "--group-commit-max-batch";
 }
 
 bool ParseUint(const std::string& val, uint64_t* out) {
@@ -96,6 +110,16 @@ bool ParseFlag(Flags& f, const std::string& key, const std::string& val) {
     if (!ParseUint(val, &f.recovery_threads) || f.recovery_threads == 0) {
       return false;
     }
+  } else if (key == "--jobs") {
+    if (!ParseUint(val, &f.jobs) || f.jobs == 0) return false;
+  } else if (key == "--group-commit") {
+    f.group_commit = true;
+  } else if (key == "--group-commit-window") {
+    if (!ParseUint(val, &f.group_commit_window)) return false;
+    f.group_commit = true;
+  } else if (key == "--group-commit-max-batch") {
+    if (!ParseUint(val, &f.group_commit_max_batch)) return false;
+    f.group_commit = true;
   } else if (key == "--no-shrink") {
     f.shrink = false;
   } else if (key == "--out") {
@@ -183,29 +207,46 @@ int Fuzz(const Flags& flags) {
   opts.protocols = flags.protocols;  // empty = defaults
   opts.disable_undo_tagging = flags.break_undo_tags;
   opts.recovery_threads = static_cast<uint32_t>(flags.recovery_threads);
-  CrashScheduleFuzzer fuzzer(opts);
+  opts.group_commit = flags.group_commit;
+  opts.group_commit_window_ns = flags.group_commit_window;
+  opts.group_commit_max_batch =
+      static_cast<uint32_t>(flags.group_commit_max_batch);
 
-  for (uint64_t seed = flags.seed_start;
-       seed < flags.seed_start + flags.seeds; ++seed) {
-    auto failure = fuzzer.RunSeed(seed);
-    if (flags.verbose && !failure) {
+  FuzzCampaignResult result;
+  if (flags.jobs <= 1 && flags.verbose) {
+    // Per-seed progress needs the loop inline; semantically identical to
+    // the serial campaign path.
+    CrashScheduleFuzzer fuzzer(opts);
+    for (uint64_t seed = flags.seed_start;
+         seed < flags.seed_start + flags.seeds; ++seed) {
+      result.failure = fuzzer.RunSeed(seed);
+      if (result.failure.has_value()) break;
       std::printf("seed %llu ok\n", static_cast<unsigned long long>(seed));
     }
-    if (!failure) continue;
+    result.stats = fuzzer.stats();
+  } else {
+    result = RunFuzzCampaign(opts, flags.seed_start, flags.seeds,
+                             static_cast<unsigned>(flags.jobs));
+  }
+  FuzzStats stats = result.stats;
 
+  if (result.failure.has_value()) {
+    const FuzzFailure& failure = *result.failure;
     std::printf("seed %llu FAILED under %s: [%s] %s\n",
-                static_cast<unsigned long long>(seed),
-                failure->protocol.Name().c_str(),
-                failure->verdict.kind.c_str(),
-                failure->verdict.detail.c_str());
-    FuzzCase shrunk = failure->fuzz_case;
+                static_cast<unsigned long long>(failure.seed),
+                failure.protocol.Name().c_str(),
+                failure.verdict.kind.c_str(),
+                failure.verdict.detail.c_str());
+    // Shrinking is serial regardless of --jobs: it re-runs one failure.
+    CrashScheduleFuzzer fuzzer(opts);
+    FuzzCase shrunk = failure.fuzz_case;
     if (flags.shrink) {
-      shrunk = fuzzer.Shrink(*failure);
+      shrunk = fuzzer.Shrink(failure);
       std::printf("shrunk: %zu crash plan(s), %zu txns/node x %zu ops\n",
                   shrunk.crashes.size(), shrunk.workload.txns_per_node,
                   shrunk.workload.ops_per_txn);
     }
-    std::string replay = fuzzer.ReplayJson(*failure, shrunk);
+    std::string replay = fuzzer.ReplayJson(failure, shrunk);
     std::ofstream out(flags.out_path);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", flags.out_path.c_str());
@@ -215,7 +256,8 @@ int Fuzz(const Flags& flags) {
     out.close();
     std::printf("replay file written to %s — re-run with --replay=%s\n",
                 flags.out_path.c_str(), flags.out_path.c_str());
-    PrintStats(fuzzer.stats());
+    stats.Merge(fuzzer.stats());
+    PrintStats(stats);
     return 2;
   }
   std::printf("all %llu seeds clean under %zu protocol(s)\n",
@@ -223,7 +265,7 @@ int Fuzz(const Flags& flags) {
               opts.protocols.empty()
                   ? CrashScheduleFuzzer::DefaultProtocols().size()
                   : opts.protocols.size());
-  PrintStats(fuzzer.stats());
+  PrintStats(stats);
   return 0;
 }
 

@@ -48,6 +48,10 @@ void Usage() {
       "  --checkpoint-every=N     steps between checkpoints (default 0)\n"
       "  --recovery-threads=N     worker streams for restart recovery\n"
       "                           (default 1 = serial)\n"
+      "  --group-commit           coalesce commit + eager-LBM forces into\n"
+      "                           batched appends (ack after the force)\n"
+      "  --group-commit-window=NS coalescing window in sim-ns\n"
+      "  --group-commit-max-batch=N  batch size bound\n"
       "  --nvram                  NVRAM log device (cheap forces)\n"
       "  --two-line-lcb           split LCBs over two cache lines\n"
       "  --seed=N                 workload seed (default 42)\n"
@@ -108,6 +112,15 @@ bool ParseFlag(Flags& f, const std::string& arg) {
     unsigned long threads = std::stoul(val);
     if (threads == 0) return false;
     cfg.db.recovery.recovery_threads = static_cast<uint32_t>(threads);
+  } else if (key == "--group-commit") {
+    cfg.db.recovery.group_commit = true;
+  } else if (key == "--group-commit-window") {
+    cfg.db.recovery.group_commit = true;
+    cfg.db.recovery.group_commit_window_ns = std::stoull(val);
+  } else if (key == "--group-commit-max-batch") {
+    cfg.db.recovery.group_commit = true;
+    cfg.db.recovery.group_commit_max_batch =
+        static_cast<uint32_t>(std::stoul(val));
   } else if (key == "--nvram") {
     cfg.db.machine.nvram_log = true;
   } else if (key == "--two-line-lcb") {
