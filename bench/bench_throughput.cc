@@ -21,6 +21,7 @@ void Run() {
     uint64_t forces;
   };
   std::vector<Res> results;
+  std::vector<std::pair<std::string, json::Value>> snapshots;
   for (auto rc : {RecoveryConfig::BaselineRebootAll(),  // plain FA
                   RecoveryConfig::VolatileRedoAll(),
                   RecoveryConfig::VolatileSelectiveRedo(),
@@ -34,7 +35,9 @@ void Run() {
     results.push_back(
         {rc.Name() + (rc.ensures_ifa() ? "" : " (FA-only)"),
          r.throughput_tps(), r.logs.forces});
+    snapshots.emplace_back(rc.Name(), MetricsJson(r));
   }
+  WriteMetricsSnapshots("BENCH_throughput_metrics.json", snapshots);
   double base = results[0].tps;
   Row({"protocol", "txn/sim-s", "slowdown vs FA", "log forces"}, 34);
   for (const auto& res : results) {

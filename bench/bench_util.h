@@ -6,9 +6,11 @@
 // index) by running workloads on the simulator and printing the series.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "workload/harness.h"
 
 namespace smdb::bench {
@@ -54,6 +56,28 @@ inline HarnessConfig StandardConfig(RecoveryConfig rc, uint16_t nodes = 8,
   cfg.seed = seed ^ 0xBEEF;
   cfg.steal_flush_prob = 0.01;
   return cfg;
+}
+
+/// The run's unified metrics snapshot (same shape --stats-json writes), so
+/// bench output is machine-comparable against smdb_run sessions.
+inline json::Value MetricsJson(const HarnessReport& report) {
+  return MetricsRegistry::FromReport(report).ToJson();
+}
+
+/// Writes a {series-name: metrics-snapshot} document next to the bench's
+/// BENCH_*.json series file.
+inline void WriteMetricsSnapshots(
+    const std::string& path,
+    const std::vector<std::pair<std::string, json::Value>>& snapshots) {
+  json::Value doc = json::Value::Object();
+  for (const auto& [name, snap] : snapshots) doc.Set(name, snap);
+  std::ofstream out(path);
+  if (out) {
+    out << doc.Dump(1) << "\n";
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
 }
 
 inline HarnessReport MustRun(Harness& h) {

@@ -37,31 +37,39 @@ Status RecoveryManager::RunRebootAll(Ctx& ctx) {
 
   // The machine goes down and comes back: all caches, memories and
   // volatile log tails are gone; every node pays the reboot penalty.
-  m.RebootAll();
-  for (NodeId n = 0; n < m.num_nodes(); ++n) {
-    db_->log().OnNodeCrash(n);
-    if (db_->group_commit() != nullptr) db_->group_commit()->OnNodeCrash(n);
-    db_->wal_table().OnNodeCrash(n);
-    m.Tick(n, m.config().timing.reboot_ns);
-  }
+  SMDB_RETURN_IF_ERROR(TimedPhase(ctx, RecoveryPhase::kReboot, [&] {
+    m.RebootAll();
+    for (NodeId n = 0; n < m.num_nodes(); ++n) {
+      db_->log().OnNodeCrash(n);
+      if (db_->group_commit() != nullptr) db_->group_commit()->OnNodeCrash(n);
+      db_->wal_table().OnNodeCrash(n);
+      m.Tick(n, m.config().timing.reboot_ns);
+    }
+    return Status::Ok();
+  }));
 
   // Classic restart from stable storage: reload pages, repeat history from
   // the stable logs, undo every uncommitted transaction.
-  auto reload = [&](const std::vector<PageId>& pages) -> Status {
-    for (PageId p : pages) {
-      SMDB_RETURN_IF_ERROR(db_->buffers().ReinstallPage(ctx.NextSurvivor(), p));
-      ++ctx.out.pages_reloaded;
-    }
-    return Status::Ok();
-  };
-  SMDB_RETURN_IF_ERROR(reload(db_->records().pages()));
-  SMDB_RETURN_IF_ERROR(reload(db_->index().pages()));
+  SMDB_RETURN_IF_ERROR(TimedPhase(ctx, RecoveryPhase::kReload, [&] {
+    auto reload = [&](const std::vector<PageId>& pages) -> Status {
+      for (PageId p : pages) {
+        SMDB_RETURN_IF_ERROR(
+            db_->buffers().ReinstallPage(ctx.NextSurvivor(), p));
+        ++ctx.out.pages_reloaded;
+      }
+      return Status::Ok();
+    };
+    SMDB_RETURN_IF_ERROR(reload(db_->records().pages()));
+    return reload(db_->index().pages());
+  }));
 
-  SMDB_RETURN_IF_ERROR(ReplayLogsWithGuard(ctx));
+  SMDB_RETURN_IF_ERROR(TimedPhase(ctx, RecoveryPhase::kRedo,
+                                  [&] { return ReplayLogsWithGuard(ctx); }));
 
   // Undo uncommitted work from the stable logs (the pass scans every
   // node's stable log, and nothing is preserved here).
-  SMDB_RETURN_IF_ERROR(UndoCrashedFromStableLogs(ctx));
+  SMDB_RETURN_IF_ERROR(TimedPhase(
+      ctx, RecoveryPhase::kUndo, [&] { return UndoCrashedFromStableLogs(ctx); }));
 
   // The lock space is volatile: it was destroyed wholesale. Clear the lost
   // lines; there are no surviving transactions whose locks need rebuilding.

@@ -7,15 +7,21 @@
 namespace smdb {
 
 Database::Database(DatabaseConfig config) : config_(config) {
+  tracer_ = std::make_unique<TraceRecorder>(config_.machine.num_nodes,
+                                            config_.trace.capacity_per_node);
+  tracer_->set_enabled(config_.trace.enabled);
   machine_ = std::make_unique<Machine>(config_.machine);
+  machine_->set_tracer(tracer_.get());
   db_disk_ = std::make_unique<Disk>(machine_.get(), config_.page_size);
   stable_db_ = std::make_unique<StableDb>(db_disk_.get());
   stable_log_ = std::make_unique<StableLogStore>(config_.machine.num_nodes);
   log_ = std::make_unique<LogManager>(machine_.get(), stable_log_.get());
+  log_->set_tracer(tracer_.get());
   if (config_.recovery.group_commit) {
     group_commit_ = std::make_unique<GroupCommitPipeline>(
         machine_.get(), log_.get(), config_.recovery.group_commit_window_ns,
         config_.recovery.group_commit_max_batch);
+    group_commit_->set_tracer(tracer_.get());
   }
   wal_table_ = std::make_unique<WalTable>(config_.machine.num_nodes);
   buffers_ = std::make_unique<BufferManager>(machine_.get(), stable_db_.get(),
@@ -28,6 +34,7 @@ Database::Database(DatabaseConfig config) : config_(config) {
   LockTableConfig lt = config_.lock_table;
   lt.log_lock_ops = config_.recovery.log_lock_ops;
   locks_ = std::make_unique<LockTable>(machine_.get(), log_.get(), lt);
+  locks_->set_tracer(tracer_.get());
   lbm_ = LbmPolicy::Create(config_.recovery.lbm, machine_.get(), log_.get(),
                            group_commit_.get());
   if (config_.recovery.restart == RestartKind::kAbortDependents) {
@@ -41,6 +48,7 @@ Database::Database(DatabaseConfig config) : config_(config) {
       wal_table_.get(), buffers_.get(), lbm_.get(), &usn_, deps_.get(),
       config_.recovery);
   txn_->SetGroupCommit(group_commit_.get());
+  txn_->set_tracer(tracer_.get());
   recovery_ = std::make_unique<RecoveryManager>(this);
 
   // A node crash destroys the node's volatile log tail and resets its

@@ -15,6 +15,7 @@
 #include "db/record_store.h"
 #include "db/wal_table.h"
 #include "lockmgr/lock_table.h"
+#include "obs/trace.h"
 #include "sim/machine.h"
 #include "storage/disk.h"
 #include "storage/stable_db.h"
@@ -37,6 +38,8 @@ struct DatabaseConfig {
   uint16_t record_data_size = 22;
   LockTableConfig lock_table;
   RecoveryConfig recovery;
+  /// Event tracing (off by default; zero overhead when disabled).
+  TraceConfig trace;
 };
 
 /// The assembled shared-memory database system: the simulated multiprocessor
@@ -93,6 +96,11 @@ class Database {
   UsnSource& usn() { return usn_; }
   DependencyTracker* deps() { return deps_.get(); }
   RecoveryManager& recovery() { return *recovery_; }
+  /// The event tracer. Always constructed; recording is gated by
+  /// DatabaseConfig::trace.enabled (and set_enabled at runtime).
+  TraceRecorder& tracer() { return *tracer_; }
+  /// Tracer as a pointer, for SMDB_TRACE call sites.
+  TraceRecorder* tracer_ptr() { return tracer_.get(); }
   const DatabaseConfig& config() const { return config_; }
 
   /// Worker streams for subsequent restart recoveries (1 = serial). The
@@ -105,6 +113,7 @@ class Database {
  private:
   DatabaseConfig config_;
   UsnSource usn_;
+  std::unique_ptr<TraceRecorder> tracer_;
   std::unique_ptr<Machine> machine_;
   std::unique_ptr<Disk> db_disk_;
   std::unique_ptr<StableDb> stable_db_;

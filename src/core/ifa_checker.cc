@@ -59,7 +59,14 @@ void IfaChecker::OnCommit(TxnId txn) {
 
 void IfaChecker::OnAbort(TxnId txn) { pending_.erase(txn); }
 
+Status IfaChecker::Fail(Violation v) {
+  Status s = Status::Corruption(v.detail);
+  last_violation_ = std::move(v);
+  return s;
+}
+
 Status IfaChecker::VerifyRecords() {
+  last_violation_.reset();
   // Expected = committed overlaid with surviving active transactions'
   // pending updates (strict 2PL: at most one active writer per record).
   std::map<RecordId, std::pair<TxnId, const std::vector<uint8_t>*>> overlay;
@@ -76,21 +83,23 @@ Status IfaChecker::VerifyRecords() {
     if (ov != overlay.end()) expected = ov->second.second;
     auto actual = db_->records().SnoopSlot(rid);
     if (!actual.ok()) {
-      return Status::Corruption("record " + ToString(rid) +
-                                " unreadable: " + actual.status().ToString());
+      return Fail({Violation::Kind::kRecord, rid, 0,
+                   "record " + ToString(rid) +
+                       " unreadable: " + actual.status().ToString()});
     }
     if (actual->data != *expected) {
       std::ostringstream os;
       os << "IFA violation at " << ToString(rid) << ": expected "
          << Hex(*expected) << " got " << Hex(actual->data)
          << (ov != overlay.end() ? " (pending txn value)" : " (committed)");
-      return Status::Corruption(os.str());
+      return Fail({Violation::Kind::kRecord, rid, 0, os.str()});
     }
   }
   return Status::Ok();
 }
 
 Status IfaChecker::VerifyIndex() {
+  last_violation_.reset();
   // Expected visible state: committed entries adjusted by surviving active
   // transactions' pending operations (in op order).
   std::map<uint64_t, RecordId> expect_live = committed_index_;
@@ -117,8 +126,8 @@ Status IfaChecker::VerifyIndex() {
 
   auto entries_or = db_->index().CollectEntries(/*include_tombstones=*/true);
   if (!entries_or.ok()) {
-    return Status::Corruption("index unreadable: " +
-                              entries_or.status().ToString());
+    return Fail({Violation::Kind::kIndex, {}, 0,
+                 "index unreadable: " + entries_or.status().ToString()});
   }
   // A key may legitimately have a live entry plus a (residual, committed
   // or pending) tombstone; only duplicate *live* entries are corruption.
@@ -129,8 +138,9 @@ Status IfaChecker::VerifyIndex() {
                                          std::make_pair(live, ref.entry.rid));
     if (!inserted) {
       if (live && it->second.first) {
-        return Status::Corruption("duplicate live index entry for key " +
-                                  std::to_string(ref.entry.key));
+        return Fail({Violation::Kind::kIndex, {}, ref.entry.key,
+                     "duplicate live index entry for key " +
+                         std::to_string(ref.entry.key)});
       }
       if (live) it->second = {true, ref.entry.rid};
     }
@@ -139,32 +149,34 @@ Status IfaChecker::VerifyIndex() {
   for (const auto& [key, rid] : expect_live) {
     auto it = actual.find(key);
     if (it == actual.end() || !it->second.first) {
-      return Status::Corruption("index missing live key " +
-                                std::to_string(key));
+      return Fail({Violation::Kind::kIndex, {}, key,
+                   "index missing live key " + std::to_string(key)});
     }
     if (!(it->second.second == rid)) {
-      return Status::Corruption("index key " + std::to_string(key) +
-                                " maps to wrong record");
+      return Fail({Violation::Kind::kIndex, {}, key,
+                   "index key " + std::to_string(key) +
+                       " maps to wrong record"});
     }
   }
   for (const auto& [key, _] : pending_tombstone) {
     auto it = actual.find(key);
     if (it == actual.end() || it->second.first) {
-      return Status::Corruption("pending delete of key " +
-                                std::to_string(key) +
-                                " not visible as tombstone");
+      return Fail({Violation::Kind::kIndex, {}, key,
+                   "pending delete of key " + std::to_string(key) +
+                       " not visible as tombstone"});
     }
   }
   for (const auto& [key, state] : actual) {
     if (state.first && !expect_live.contains(key)) {
-      return Status::Corruption("index has unexpected live key " +
-                                std::to_string(key));
+      return Fail({Violation::Kind::kIndex, {}, key,
+                   "index has unexpected live key " + std::to_string(key)});
     }
   }
   return Status::Ok();
 }
 
 Status IfaChecker::VerifyLocks() {
+  last_violation_.reset();
   // No lock may be held or awaited by a finished or crash-annulled
   // transaction.
   int lost = 0;
@@ -174,8 +186,9 @@ Status IfaChecker::VerifyLocks() {
       for (const auto& e : list) {
         Transaction* t = db_->txn().Find(e.txn);
         if (t == nullptr || t->state != TxnState::kActive) {
-          return Status::Corruption(std::string("lock table has a ") + what +
-                                    " entry for a non-active transaction");
+          return Fail({Violation::Kind::kLock, {}, lcb.name,
+                       std::string("lock table has a ") + what +
+                           " entry for a non-active transaction"});
         }
       }
       return Status::Ok();
@@ -184,7 +197,8 @@ Status IfaChecker::VerifyLocks() {
     SMDB_RETURN_IF_ERROR(check(lcb.waiters, "waiter"));
   }
   if (lost > 0) {
-    return Status::Corruption("lock table still has lost LCB lines");
+    return Fail({Violation::Kind::kLock, {}, 0,
+                 "lock table still has lost LCB lines"});
   }
   // Every surviving active transaction still holds its granted locks.
   auto survivors = db_->machine().AliveNodes();
@@ -195,8 +209,8 @@ Status IfaChecker::VerifyLocks() {
       auto mode = db_->locks().HeldMode(probe, t->id, name);
       if (!mode.ok()) return mode.status();
       if (*mode == LockMode::kNone) {
-        return Status::Corruption(
-            "surviving active transaction lost a granted lock");
+        return Fail({Violation::Kind::kLock, {}, name,
+                     "surviving active transaction lost a granted lock"});
       }
     }
   }

@@ -2,6 +2,8 @@
 #define SMDB_CORE_IFA_CHECKER_H_
 
 #include <map>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -50,6 +52,24 @@ class IfaChecker : public TxnObserver {
   Status VerifyLocks();
   Status VerifyAll();
 
+  /// Structured description of the first check that failed, so forensic
+  /// reports can target the offending object (log chain, lock state)
+  /// without parsing the Corruption message. `rid` is set for kRecord,
+  /// `key` for kIndex; kLock violations carry only the detail string.
+  struct Violation {
+    enum class Kind : uint8_t { kRecord, kIndex, kLock };
+    Kind kind = Kind::kRecord;
+    RecordId rid;
+    uint64_t key = 0;
+    std::string detail;
+  };
+
+  /// The violation behind the most recent failed Verify* call; nullopt
+  /// after a clean pass (each Verify* clears it on entry).
+  const std::optional<Violation>& last_violation() const {
+    return last_violation_;
+  }
+
   size_t committed_records() const { return committed_.size(); }
 
  private:
@@ -63,10 +83,14 @@ class IfaChecker : public TxnObserver {
     std::vector<IdxOp> index_ops;
   };
 
+  /// Records the violation and returns the matching Corruption status.
+  Status Fail(Violation v);
+
   Database* db_;
   std::map<RecordId, std::vector<uint8_t>> committed_;
   std::map<uint64_t, RecordId> committed_index_;
   std::map<TxnId, Pending> pending_;
+  std::optional<Violation> last_violation_;
 };
 
 }  // namespace smdb

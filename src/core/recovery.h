@@ -1,12 +1,32 @@
 #ifndef SMDB_CORE_RECOVERY_H_
 #define SMDB_CORE_RECOVERY_H_
 
+#include <array>
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
 
 namespace smdb {
+
+/// Phases of the restart procedure, in pipeline order. Every scheme runs a
+/// subset: Redo All skips the tag scan, Selective Redo skips the reload,
+/// RebootAll adds the whole-machine reboot. Phase durations are recorded
+/// per recovery in RecoveryOutcome::phase_ns and emitted as trace spans.
+enum class RecoveryPhase : uint8_t {
+  kLogAnalysis = 0,  ///< context build: scan logs, classify transactions
+  kReboot,           ///< RebootAll's whole-machine restart step
+  kReload,           ///< stable-page reload / lost-line reinstall
+  kRedo,             ///< USN-guarded replay of reachable logs
+  kUndo,             ///< undo of dead uncommitted work from stable logs
+  kTagScan,          ///< Selective Redo's cache sweep over undo tags
+  kLockRebuild,      ///< lock-table recovery (clear, drop, rebuild)
+};
+inline constexpr size_t kNumRecoveryPhases = 7;
+
+/// Stable human-readable phase name (also the trace span label).
+const char* RecoveryPhaseName(RecoveryPhase phase);
 
 /// What restart recovery did, and what it cost. The benches for the
 /// recovery-time (R1) and abort-avoidance (A1) experiments read these
@@ -40,6 +60,10 @@ struct RecoveryOutcome {
 
   /// Simulated wall-clock of the restart procedure (global-time delta).
   SimTime recovery_time_ns = 0;
+  /// Per-phase global-time deltas (indexed by RecoveryPhase); phases the
+  /// scheme did not run stay 0. Sums to <= recovery_time_ns (coordinator
+  /// glue between phases is not attributed to any phase).
+  std::array<SimTime, kNumRecoveryPhases> phase_ns{};
   bool whole_machine_restart = false;
 
   std::string ToString() const;

@@ -7,8 +7,22 @@
 #include "core/database.h"
 #include "core/stable_state.h"
 #include "db/page_layout.h"
+#include "obs/trace.h"
 
 namespace smdb {
+
+const char* RecoveryPhaseName(RecoveryPhase phase) {
+  switch (phase) {
+    case RecoveryPhase::kLogAnalysis: return "log_analysis";
+    case RecoveryPhase::kReboot: return "reboot";
+    case RecoveryPhase::kReload: return "reload";
+    case RecoveryPhase::kRedo: return "redo";
+    case RecoveryPhase::kUndo: return "undo";
+    case RecoveryPhase::kTagScan: return "tag_scan";
+    case RecoveryPhase::kLockRebuild: return "lock_rebuild";
+  }
+  return "unknown";
+}
 
 std::string RecoveryOutcome::ToString() const {
   std::ostringstream os;
@@ -26,8 +40,13 @@ std::string RecoveryOutcome::ToString() const {
      << " lcb_lines_cleared=" << lcb_lines_cleared
      << " lcbs_rebuilt=" << lcbs_rebuilt << " locks_dropped=" << locks_dropped
      << " tags_scanned=" << tags_scanned << " tag_undos=" << tag_undos
-     << " recovery_time_ns=" << recovery_time_ns
-     << (whole_machine_restart ? " WHOLE-MACHINE-RESTART" : "");
+     << " recovery_time_ns=" << recovery_time_ns;
+  for (size_t i = 0; i < kNumRecoveryPhases; ++i) {
+    if (phase_ns[i] == 0) continue;
+    os << " " << RecoveryPhaseName(static_cast<RecoveryPhase>(i))
+       << "_ns=" << phase_ns[i];
+  }
+  os << (whole_machine_restart ? " WHOLE-MACHINE-RESTART" : "");
   return os.str();
 }
 
@@ -198,6 +217,24 @@ Status RecoveryManager::BuildContext(const std::vector<NodeId>& crashed,
                                 node_uncommitted[c].end());
   }
   return Status::Ok();
+}
+
+Status RecoveryManager::TimedPhase(Ctx& ctx, RecoveryPhase phase,
+                                   const std::function<Status()>& body) {
+  Machine& m = db_->machine();
+  const SimTime t0 = m.GlobalTime();
+  Status s = body();
+  const SimTime dt = m.GlobalTime() - t0;
+  ctx.out.phase_ns[static_cast<size_t>(phase)] += dt;
+  if (!ctx.survivors.empty()) {
+    SMDB_TRACE(db_->tracer_ptr(),
+               {.kind = TraceEventKind::kRecoveryPhase,
+                .node = ctx.survivors.front(),
+                .ts = t0,
+                .dur = dt,
+                .label = RecoveryPhaseName(phase)});
+  }
+  return s;
 }
 
 Status RecoveryManager::ApplyRedoUpdate(Ctx& ctx, NodeId performer,
@@ -612,8 +649,16 @@ Status RecoveryManager::TagScanUndo(Ctx& ctx) {
                             : ctx.StreamPerformer(Mix64(c.ref.entry.key));
   };
 
+  // Owning transaction of a tagged USN, for the tag-decision trace (and
+  // forensics); kInvalidTxn when the record only ever lived in a lost tail.
+  auto owner_of = [&](uint64_t usn) {
+    auto it = usn_owner.find(usn);
+    return it != usn_owner.end() ? it->second : kInvalidTxn;
+  };
   for (const HeapCand& c : heap_cands) {
     NodeId p = heap_performer(c);
+    const uint64_t rid_enc =
+        (static_cast<uint64_t>(c.rid.page) << 16) | c.rid.slot;
     if (c.stale_clear) {
       // Commit happened; only the tag-clear was lost. Clear it now.
       LineAddr line = rs.SlotLine(c.rid);
@@ -621,6 +666,14 @@ Status RecoveryManager::TagScanUndo(Ctx& ctx) {
       Status st = rs.WriteTag(p, c.rid, kTagNone);
       m.ReleaseLine(p, line);
       SMDB_RETURN_IF_ERROR(st);
+      SMDB_TRACE(db_->tracer_ptr(),
+                 {.kind = TraceEventKind::kTagDecision,
+                  .node = p,
+                  .txn = owner_of(c.usn),
+                  .ts = m.NodeClock(p),
+                  .a = rid_enc,
+                  .b = c.usn,
+                  .label = "heap-stale"});
       continue;
     }
     // Undo: install the last committed value (from stable store).
@@ -647,11 +700,27 @@ Status RecoveryManager::TagScanUndo(Ctx& ctx) {
     db_->buffers().MarkDirty(c.rid.page);
     ++ctx.out.tag_undos;
     ++ctx.out.undo_applied;
+    SMDB_TRACE(db_->tracer_ptr(),
+               {.kind = TraceEventKind::kTagDecision,
+                .node = p,
+                .txn = owner_of(c.usn),
+                .ts = m.NodeClock(p),
+                .a = rid_enc,
+                .b = c.usn,
+                .label = "heap-undo"});
   }
   for (const IdxCand& c : idx_cands) {
     NodeId p = idx_performer(c);
     if (c.stale_clear) {
       SMDB_RETURN_IF_ERROR(index.ClearTag(p, c.ref.entry.key));
+      SMDB_TRACE(db_->tracer_ptr(),
+                 {.kind = TraceEventKind::kTagDecision,
+                  .node = p,
+                  .txn = owner_of(c.ref.entry.usn),
+                  .ts = m.NodeClock(p),
+                  .a = c.ref.entry.key,
+                  .b = c.ref.entry.usn,
+                  .label = "index-stale"});
       continue;
     }
     if (c.ref.entry.state == LeafEntryState::kLive) {
@@ -665,6 +734,14 @@ Status RecoveryManager::TagScanUndo(Ctx& ctx) {
     }
     ++ctx.out.tag_undos;
     ++ctx.out.undo_applied;
+    SMDB_TRACE(db_->tracer_ptr(),
+               {.kind = TraceEventKind::kTagDecision,
+                .node = p,
+                .txn = owner_of(c.ref.entry.usn),
+                .ts = m.NodeClock(p),
+                .a = c.ref.entry.key,
+                .b = c.ref.entry.usn,
+                .label = "index-undo"});
   }
   return Status::Ok();
 }
@@ -772,10 +849,16 @@ Result<RecoveryOutcome> RecoveryManager::Run(
       (pool_ == nullptr || pool_->workers() != ctx.threads)) {
     pool_ = std::make_unique<ThreadPool>(ctx.threads);
   }
-  SMDB_RETURN_IF_ERROR(BuildContext(crashed, &ctx));
   Machine& m = db_->machine();
   m.SyncClocks();
   SimTime t0 = m.GlobalTime();
+  // BuildContext performs no machine operations — its log scans are pure
+  // host-side reads — so timing it as the analysis phase costs nothing and
+  // changes nothing (dt is 0 in simulated time, but the span marks where
+  // analysis sits in the recovery timeline).
+  SMDB_RETURN_IF_ERROR(TimedPhase(
+      ctx, RecoveryPhase::kLogAnalysis,
+      [&] { return BuildContext(crashed, &ctx); }));
   ctx.out.crashed_nodes = ctx.crashed;
 
   Status s;
@@ -843,6 +926,15 @@ Result<RecoveryOutcome> RecoveryManager::Run(
 
   m.SyncClocks();
   ctx.out.recovery_time_ns = m.GlobalTime() - t0;
+  // Whole-recovery envelope span (the per-phase spans nest inside it in
+  // the Chrome trace view). survivors is never empty here: the
+  // whole-machine-restart path repopulates it with every node.
+  SMDB_TRACE(db_->tracer_ptr(),
+             {.kind = TraceEventKind::kRecoveryPhase,
+              .node = ctx.survivors.front(),
+              .ts = t0,
+              .dur = ctx.out.recovery_time_ns,
+              .label = "recovery"});
   return ctx.out;
 }
 

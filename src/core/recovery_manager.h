@@ -93,6 +93,13 @@ class RecoveryManager {
 
   Status BuildContext(const std::vector<NodeId>& crashed, Ctx* ctx);
 
+  /// Runs `body` as one timed recovery phase: accumulates the global-time
+  /// delta into ctx.out.phase_ns[phase] and emits a kRecoveryPhase trace
+  /// span on the coordinator survivor's track. Pure accounting — it adds
+  /// no Ticks, so timing semantics are identical with tracing off.
+  Status TimedPhase(Ctx& ctx, RecoveryPhase phase,
+                    const std::function<Status()>& body);
+
   // Shared passes -------------------------------------------------------
 
   /// Redo pass: replays update/index records (lsn > checkpoint) from every

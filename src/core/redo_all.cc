@@ -30,25 +30,31 @@ Status RecoveryManager::RunRedoAll(Ctx& ctx) {
   SMDB_RETURN_IF_ERROR(discard_pages(db_->index().pages()));
 
   // Step 2a: reload the stable images.
-  auto reload_pages = [&](const std::vector<PageId>& pages) -> Status {
-    for (PageId p : pages) {
-      SMDB_RETURN_IF_ERROR(db_->buffers().ReinstallPage(ctx.NextSurvivor(), p));
-      ++ctx.out.pages_reloaded;
-    }
-    return Status::Ok();
-  };
-  SMDB_RETURN_IF_ERROR(reload_pages(db_->records().pages()));
-  SMDB_RETURN_IF_ERROR(reload_pages(db_->index().pages()));
+  SMDB_RETURN_IF_ERROR(TimedPhase(ctx, RecoveryPhase::kReload, [&] {
+    auto reload_pages = [&](const std::vector<PageId>& pages) -> Status {
+      for (PageId p : pages) {
+        SMDB_RETURN_IF_ERROR(
+            db_->buffers().ReinstallPage(ctx.NextSurvivor(), p));
+        ++ctx.out.pages_reloaded;
+      }
+      return Status::Ok();
+    };
+    SMDB_RETURN_IF_ERROR(reload_pages(db_->records().pages()));
+    return reload_pages(db_->index().pages());
+  }));
 
   // Step 2b: redo from every reachable log.
-  SMDB_RETURN_IF_ERROR(ReplayLogsWithGuard(ctx));
+  SMDB_RETURN_IF_ERROR(TimedPhase(ctx, RecoveryPhase::kRedo,
+                                  [&] { return ReplayLogsWithGuard(ctx); }));
 
   // Undo uncommitted work of crashed transactions that reached stable
   // store (steal). Purely volatile crashed updates vanished with step 1.
-  SMDB_RETURN_IF_ERROR(UndoCrashedFromStableLogs(ctx));
+  SMDB_RETURN_IF_ERROR(TimedPhase(
+      ctx, RecoveryPhase::kUndo, [&] { return UndoCrashedFromStableLogs(ctx); }));
 
   // Lock space recovery (section 4.2.2).
-  return RecoverLockTable(ctx);
+  return TimedPhase(ctx, RecoveryPhase::kLockRebuild,
+                    [&] { return RecoverLockTable(ctx); });
 }
 
 }  // namespace smdb

@@ -18,32 +18,38 @@ Status RecoveryManager::RunSelectiveRedo(Ctx& ctx) {
   // Step 0: re-materialise lost lines from the stable database (the probe —
   // ProbeLine, i.e. "cache miss with I/O disabled" — is what decides
   // lost-ness inside ReinstallLostLines).
-  auto reinstall = [&](const std::vector<PageId>& pages) -> Status {
-    for (PageId p : pages) {
-      SMDB_ASSIGN_OR_RETURN(
-          int n, db_->buffers().ReinstallLostLines(ctx.NextSurvivor(), p));
-      if (n > 0) {
-        ctx.out.lines_reinstalled += n;
-        ++ctx.out.pages_reloaded;
+  SMDB_RETURN_IF_ERROR(TimedPhase(ctx, RecoveryPhase::kReload, [&] {
+    auto reinstall = [&](const std::vector<PageId>& pages) -> Status {
+      for (PageId p : pages) {
+        SMDB_ASSIGN_OR_RETURN(
+            int n, db_->buffers().ReinstallLostLines(ctx.NextSurvivor(), p));
+        if (n > 0) {
+          ctx.out.lines_reinstalled += n;
+          ++ctx.out.pages_reloaded;
+        }
       }
-    }
-    return Status::Ok();
-  };
-  SMDB_RETURN_IF_ERROR(reinstall(db_->records().pages()));
-  SMDB_RETURN_IF_ERROR(reinstall(db_->index().pages()));
+      return Status::Ok();
+    };
+    SMDB_RETURN_IF_ERROR(reinstall(db_->records().pages()));
+    return reinstall(db_->index().pages());
+  }));
 
   // Step 1: selective redo.
-  SMDB_RETURN_IF_ERROR(ReplayLogsWithGuard(ctx));
+  SMDB_RETURN_IF_ERROR(TimedPhase(ctx, RecoveryPhase::kRedo,
+                                  [&] { return ReplayLogsWithGuard(ctx); }));
 
   // Step 2a: undo stolen/stable-logged uncommitted work of crashed nodes.
-  SMDB_RETURN_IF_ERROR(UndoCrashedFromStableLogs(ctx));
+  SMDB_RETURN_IF_ERROR(TimedPhase(
+      ctx, RecoveryPhase::kUndo, [&] { return UndoCrashedFromStableLogs(ctx); }));
 
   // Step 2b: tag-scan undo of crashed transactions' updates that migrated
   // to surviving caches (no stable log record exists for these).
-  SMDB_RETURN_IF_ERROR(TagScanUndo(ctx));
+  SMDB_RETURN_IF_ERROR(TimedPhase(ctx, RecoveryPhase::kTagScan,
+                                  [&] { return TagScanUndo(ctx); }));
 
   // Lock space recovery (section 4.2.2).
-  return RecoverLockTable(ctx);
+  return TimedPhase(ctx, RecoveryPhase::kLockRebuild,
+                    [&] { return RecoverLockTable(ctx); });
 }
 
 }  // namespace smdb

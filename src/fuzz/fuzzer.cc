@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/thread_pool.h"
+#include "obs/forensics.h"
 
 namespace smdb {
 
@@ -240,8 +241,35 @@ FuzzCase CrashScheduleFuzzer::Shrink(const FuzzFailure& failure) {
   return best;
 }
 
+json::Value CrashScheduleFuzzer::CollectForensics(const FuzzFailure& failure,
+                                                  const FuzzCase& shrunk) {
+  // The re-run is bit-identical to the shrunk failing run (tracing adds no
+  // simulated cost), so the recorder holds the event history leading into
+  // the violation when the report is built.
+  HarnessConfig cfg =
+      MakeHarnessConfig(shrunk, EffectiveProtocol(failure.protocol));
+  cfg.db.trace.enabled = true;
+  cfg.db.trace.capacity_per_node = opts_.trace_capacity;
+  Harness h(cfg);
+  auto report = h.Run();
+  ++stats_.runs;
+  const bool failed_again =
+      !report.ok() || !report->verify_status.ok();
+  json::Value out =
+      BuildForensicReport(h.db(), &h.checker(), /*last_n=*/32);
+  // "reproduced" is about the *verifiable* failure kinds (run-error,
+  // ifa-verify); abort-count and divergence failures verify clean here.
+  out.Set("reproduced", json::Value::Bool(failed_again));
+  out.Set("verify",
+          json::Value::Str(report.ok() ? report->verify_status.ToString()
+                                       : report.status().ToString()));
+  return out;
+}
+
 std::string CrashScheduleFuzzer::ReplayJson(const FuzzFailure& failure,
-                                            const FuzzCase& shrunk) const {
+                                            const FuzzCase& shrunk,
+                                            const json::Value* forensics)
+    const {
   json::Value doc = json::Value::Object();
   doc.Set("smdb_fuzz_replay", json::Value::Uint(1));
   doc.Set("seed", json::Value::Uint(failure.seed));
@@ -256,12 +284,17 @@ std::string CrashScheduleFuzzer::ReplayJson(const FuzzFailure& failure,
     doc.Set("group_commit_max_batch",
             json::Value::Uint(failure.protocol.group_commit_max_batch));
   }
+  doc.Set("forensics_enabled", json::Value::Bool(opts_.forensics));
+  doc.Set("trace_capacity", json::Value::Uint(opts_.trace_capacity));
   doc.Set("case", shrunk.ToJson());
   doc.Set("original_case", failure.fuzz_case.ToJson());
   json::Value fail = json::Value::Object();
   fail.Set("kind", json::Value::Str(failure.verdict.kind));
   fail.Set("detail", json::Value::Str(failure.verdict.detail));
   doc.Set("failure", std::move(fail));
+  if (forensics != nullptr) {
+    doc.Set("forensics", *forensics);
+  }
   return doc.Dump(2);
 }
 
@@ -296,6 +329,12 @@ Result<CrashScheduleFuzzer::ReplayDoc> CrashScheduleFuzzer::ParseReplay(
       out.protocol.group_commit_max_batch = static_cast<uint32_t>(batch);
     }
   }
+  // Absent in documents that predate the observability layer: defaults.
+  if (doc.Find("forensics_enabled") != nullptr) {
+    out.forensics_enabled = doc.GetBool("forensics_enabled");
+  }
+  uint64_t cap = doc.GetUint("trace_capacity");
+  if (cap != 0) out.trace_capacity = static_cast<uint32_t>(cap);
   const json::Value* c = doc.Find("case");
   if (c == nullptr) {
     return Status::InvalidArgument("replay: missing case");
@@ -309,17 +348,58 @@ Result<CrashScheduleFuzzer::ReplayDoc> CrashScheduleFuzzer::ParseReplay(
   return out;
 }
 
+json::Value PerSeedAggregateJson(const std::vector<FuzzStats>& per_seed) {
+  json::Value obj = json::Value::Object();
+  obj.Set("seeds", json::Value::Uint(per_seed.size()));
+  if (per_seed.empty()) return obj;
+  // Field-parallel fold over the shared visitor, so the aggregate's key
+  // set can never drift from FuzzStats.
+  std::vector<std::string> names;
+  std::vector<uint64_t> mins, maxs, sums;
+  bool first = true;
+  for (const FuzzStats& s : per_seed) {
+    size_t i = 0;
+    s.ForEachCounter([&](const char* name, uint64_t value) {
+      if (first) {
+        names.emplace_back(name);
+        mins.push_back(value);
+        maxs.push_back(value);
+        sums.push_back(value);
+      } else {
+        mins[i] = std::min(mins[i], value);
+        maxs[i] = std::max(maxs[i], value);
+        sums[i] += value;
+      }
+      ++i;
+    });
+    first = false;
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    json::Value agg = json::Value::Object();
+    agg.Set("min", json::Value::Uint(mins[i]));
+    agg.Set("max", json::Value::Uint(maxs[i]));
+    agg.Set("mean",
+            json::Value::Double(double(sums[i]) / double(per_seed.size())));
+    obj.Set(names[i], agg);
+  }
+  return obj;
+}
+
 FuzzCampaignResult RunFuzzCampaign(const CrashScheduleFuzzer::Options& opts,
                                    uint64_t seed_start, uint64_t seed_count,
                                    unsigned jobs) {
   FuzzCampaignResult out;
   if (jobs <= 1) {
-    CrashScheduleFuzzer fuzzer(opts);
+    // One fresh fuzzer per seed (same as the sharded path) so per-seed
+    // stats blocks exist; merging them gives the exact totals the old
+    // single-fuzzer loop accumulated.
     for (uint64_t i = 0; i < seed_count; ++i) {
+      CrashScheduleFuzzer fuzzer(opts);
       out.failure = fuzzer.RunSeed(seed_start + i);
+      out.per_seed.push_back(fuzzer.stats());
+      out.stats.Merge(fuzzer.stats());
       if (out.failure.has_value()) break;
     }
-    out.stats = fuzzer.stats();
     return out;
   }
   // Sharded: chunks of jobs*4 seeds, each seed in a fresh fuzzer (a seed's
@@ -340,6 +420,7 @@ FuzzCampaignResult RunFuzzCampaign(const CrashScheduleFuzzer::Options& opts,
       stats[i] = fuzzer.stats();
     });
     for (uint64_t i = 0; i < n; ++i) {
+      out.per_seed.push_back(stats[i]);
       out.stats.Merge(stats[i]);
       if (failures[i].has_value()) {
         out.failure = std::move(failures[i]);

@@ -47,6 +47,19 @@ struct FuzzStats {
     whole_machine_restarts += o.whole_machine_restarts;
     committed += o.committed;
   }
+
+  /// Visits every field as ("name", value) — keeps Merge, the campaign
+  /// summary JSON, and the per-seed aggregates over the same field set.
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+    fn("cases", cases);
+    fn("runs", runs);
+    fn("shrink_runs", shrink_runs);
+    fn("crashes_fired", crashes_fired);
+    fn("crashes_skipped", crashes_skipped);
+    fn("whole_machine_restarts", whole_machine_restarts);
+    fn("committed", committed);
+  }
 };
 
 /// Randomized crash-schedule fuzzer with deterministic replay.
@@ -87,6 +100,13 @@ class CrashScheduleFuzzer {
     /// Pipeline knobs when group_commit is set (0 = keep the defaults).
     uint64_t group_commit_window_ns = 0;
     uint32_t group_commit_max_batch = 0;
+    /// On failure, re-run the shrunk reproducer with event tracing on and
+    /// embed a bounded forensic report (trace tails, the offending
+    /// object's log chain, lock state, tag-scan decisions) in the replay
+    /// document.
+    bool forensics = true;
+    /// Per-node trace ring capacity used by the forensic re-run.
+    uint32_t trace_capacity = 4096;
   };
 
   /// The five IFA protocol variants plus the two baselines-as-oracles.
@@ -106,10 +126,19 @@ class CrashScheduleFuzzer {
   /// still fails under the failure's protocol.
   FuzzCase Shrink(const FuzzFailure& failure);
 
+  /// Re-runs the shrunk reproducer with event tracing enabled (the re-run
+  /// is deterministic, so the failure reproduces bit-identically) and
+  /// builds the crash-forensics document: whether the failure reproduced,
+  /// per-node trace tails, and — for IFA violations — the offending
+  /// object's log chain, lock state and tag-scan decisions.
+  json::Value CollectForensics(const FuzzFailure& failure,
+                               const FuzzCase& shrunk);
+
   /// Serializes a self-contained replay document for `failure` with the
-  /// shrunk case as the schedule to re-execute.
-  std::string ReplayJson(const FuzzFailure& failure,
-                         const FuzzCase& shrunk) const;
+  /// shrunk case as the schedule to re-execute. `forensics` (from
+  /// CollectForensics), when non-null, is embedded under "forensics".
+  std::string ReplayJson(const FuzzFailure& failure, const FuzzCase& shrunk,
+                         const json::Value* forensics = nullptr) const;
 
   struct ReplayDoc {
     uint64_t seed = 0;
@@ -122,6 +151,10 @@ class CrashScheduleFuzzer {
     bool group_commit = false;
     uint64_t group_commit_window_ns = 0;
     uint32_t group_commit_max_batch = 0;
+    /// Observability settings of the producing campaign (absent in older
+    /// documents: forensics on, default capacity).
+    bool forensics_enabled = true;
+    uint32_t trace_capacity = 4096;
     std::string recorded_kind;
     std::string recorded_detail;
   };
@@ -151,7 +184,16 @@ class CrashScheduleFuzzer {
 struct FuzzCampaignResult {
   std::optional<FuzzFailure> failure;
   FuzzStats stats;
+  /// One stats block per completed seed, in seed order up to and including
+  /// the failing one. Merging these reproduces `stats` exactly; the
+  /// campaign summary aggregates them (per-seed min/max/mean).
+  std::vector<FuzzStats> per_seed;
 };
+
+/// Per-counter min/max/mean over the campaign's per-seed stats blocks:
+/// {"seeds": N, "cases": {"min":..,"max":..,"mean":..}, ...}. Empty object
+/// when no seed completed.
+json::Value PerSeedAggregateJson(const std::vector<FuzzStats>& per_seed);
 
 /// Runs seeds [seed_start, seed_start + seed_count) under `opts`, sharded
 /// across `jobs` worker threads. Each seed runs in a fresh fuzzer instance

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
 #include "sim/machine.h"
 
 namespace smdb {
@@ -157,6 +158,13 @@ Result<LockResult> LockTable::Acquire(NodeId node, TxnId txn, uint64_t name,
       release_lines();
       if (!s.ok()) return s;
       ++stats_.acquires;
+      SMDB_TRACE(tracer_, {.kind = TraceEventKind::kLockAcquire,
+                           .node = node,
+                           .txn = txn,
+                           .ts = machine_->NodeClock(node),
+                           .a = name,
+                           .b = static_cast<uint64_t>(mode),
+                           .label = "upgrade"});
       return LockResult::kGranted;
     }
     // Fall through to queueing the upgrade.
@@ -172,6 +180,12 @@ Result<LockResult> LockTable::Acquire(NodeId node, TxnId txn, uint64_t name,
     release_lines();
     if (!s.ok()) return s;
     ++stats_.acquires;
+    SMDB_TRACE(tracer_, {.kind = TraceEventKind::kLockAcquire,
+                         .node = node,
+                         .txn = txn,
+                         .ts = machine_->NodeClock(node),
+                         .a = name,
+                         .b = static_cast<uint64_t>(mode)});
     return LockResult::kGranted;
   }
 
@@ -209,6 +223,13 @@ Result<LockResult> LockTable::PollGrant(NodeId node, TxnId txn, uint64_t name,
   SMDB_RETURN_IF_ERROR(LogLockOp(node, txn, name, mode,
                                  LockOpPayload::Op::kAcquire, chain_prev));
   ++stats_.acquires;
+  SMDB_TRACE(tracer_, {.kind = TraceEventKind::kLockAcquire,
+                       .node = node,
+                       .txn = txn,
+                       .ts = machine_->NodeClock(node),
+                       .a = name,
+                       .b = static_cast<uint64_t>(mode),
+                       .label = "poll"});
   return LockResult::kGranted;
 }
 
@@ -273,6 +294,11 @@ Status LockTable::Release(NodeId node, TxnId txn, uint64_t name,
   release_lines();
   if (!s.ok()) return s;
   ++stats_.releases;
+  SMDB_TRACE(tracer_, {.kind = TraceEventKind::kLockRelease,
+                       .node = node,
+                       .txn = txn,
+                       .ts = machine_->NodeClock(node),
+                       .a = name});
   return Status::Ok();
 }
 

@@ -13,6 +13,7 @@
 namespace smdb {
 
 class Machine;
+class TraceRecorder;
 
 /// Canonical lock names. Records and index keys share one name space.
 constexpr uint64_t RecordLockName(RecordId rid) {
@@ -41,6 +42,17 @@ struct LockTableStats {
   uint64_t capacity_rejections = 0;
 
   void Reset() { *this = LockTableStats(); }
+
+  /// Visits every field as ("name", value) — the metrics registry's
+  /// source of truth for this struct.
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+    fn("acquires", acquires);
+    fn("queued", queued);
+    fn("releases", releases);
+    fn("lock_log_records", lock_log_records);
+    fn("capacity_rejections", capacity_rejections);
+  }
 };
 
 /// Outcome of an Acquire call.
@@ -111,6 +123,9 @@ class LockTable {
   LockTableStats& stats() { return stats_; }
   const LcbCodec& codec() const { return codec_; }
 
+  /// Optional event tracer (owned by Database); null = no tracing.
+  void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+
  private:
   /// Finds the slot holding `name`, or the first empty slot when
   /// `create` is true. Returns the slot index or NotFound/Busy.
@@ -133,6 +148,7 @@ class LockTable {
 
   Machine* machine_;
   LogManager* log_;
+  TraceRecorder* tracer_ = nullptr;
   LockTableConfig config_;
   LcbCodec codec_;
   Addr base_ = 0;

@@ -1,0 +1,26 @@
+#ifndef SMDB_OBS_FORENSICS_H_
+#define SMDB_OBS_FORENSICS_H_
+
+#include <cstddef>
+
+#include "common/json.h"
+
+namespace smdb {
+
+class Database;
+class IfaChecker;
+
+/// Builds a bounded crash-forensics report for a failed IFA verification:
+/// the checker's structured violation, the last `last_n` trace events per
+/// node (plus per-node drop counts), the offending object's log-record
+/// chain gathered from every reachable log, the lock state of the object's
+/// lock name, and any tag-scan decisions recorded for it. Everything is
+/// read via snooping / host-side log walks — no simulated cost — so it is
+/// safe to call on an already-failed run. With no recorded violation the
+/// report still carries the trace tails (the violation field is null).
+json::Value BuildForensicReport(Database& db, const IfaChecker* checker,
+                                size_t last_n);
+
+}  // namespace smdb
+
+#endif  // SMDB_OBS_FORENSICS_H_

@@ -1,0 +1,86 @@
+#include "obs/metrics.h"
+
+#include "core/recovery.h"
+#include "obs/trace.h"
+#include "workload/harness.h"
+
+namespace smdb {
+
+MetricsRegistry MetricsRegistry::FromReport(const HarnessReport& report) {
+  MetricsRegistry reg;
+  auto add_prefixed = [&reg](const char* prefix) {
+    return [&reg, prefix](const auto& name, uint64_t value) {
+      reg.Add(std::string(prefix) + name, value);
+    };
+  };
+  ForEachCounter(report.machine, add_prefixed("machine."));
+  ForEachCounter(report.logs, add_prefixed("wal."));
+  report.gc.ForEachCounter(add_prefixed("group_commit."));
+  report.txns.ForEachCounter(add_prefixed("txn."));
+  report.locks.ForEachCounter(add_prefixed("locks."));
+
+  reg.Add("btree.inserts", report.btree.inserts);
+  reg.Add("btree.deletes", report.btree.deletes);
+  reg.Add("btree.lookups", report.btree.lookups);
+  reg.Add("btree.splits", report.btree.splits);
+  reg.Add("btree.early_commits", report.btree.early_commits);
+  reg.Add("btree.purged_tombstones", report.btree.purged_tombstones);
+
+  reg.Add("exec.committed", report.exec.committed);
+  reg.Add("exec.aborted_deadlock", report.exec.aborted_deadlock);
+  reg.Add("exec.aborted_other", report.exec.aborted_other);
+  reg.Add("exec.retries", report.exec.retries);
+  reg.Add("exec.ops_executed", report.exec.ops_executed);
+  reg.Add("exec.lock_waits", report.exec.lock_waits);
+  reg.Add("exec.commit_waits", report.exec.commit_waits);
+
+  reg.Add("disk.reads", report.disk_reads);
+  reg.Add("disk.writes", report.disk_writes);
+  reg.Add("run.steps", report.steps);
+  reg.Add("run.total_time_ns", report.total_time_ns);
+  reg.AddDouble("run.throughput_tps", report.throughput_tps());
+  reg.Add("run.unnecessary_aborts", report.unnecessary_aborts());
+
+  reg.Add("recovery.count", report.recoveries.size());
+  for (size_t i = 0; i < report.recoveries.size(); ++i) {
+    const RecoveryOutcome& r = report.recoveries[i];
+    const std::string p = "recovery." + std::to_string(i) + ".";
+    reg.Add(p + "crashed_nodes", r.crashed_nodes.size());
+    reg.Add(p + "annulled", r.annulled.size());
+    reg.Add(p + "preserved", r.preserved.size());
+    reg.Add(p + "forced_aborts", r.forced_aborts.size());
+    reg.Add(p + "redo_applied", r.redo_applied);
+    reg.Add(p + "redo_skipped", r.redo_skipped);
+    reg.Add(p + "undo_applied", r.undo_applied);
+    reg.Add(p + "pages_reloaded", r.pages_reloaded);
+    reg.Add(p + "lines_reinstalled", r.lines_reinstalled);
+    reg.Add(p + "lcb_lines_cleared", r.lcb_lines_cleared);
+    reg.Add(p + "lcbs_rebuilt", r.lcbs_rebuilt);
+    reg.Add(p + "locks_dropped", r.locks_dropped);
+    reg.Add(p + "tags_scanned", r.tags_scanned);
+    reg.Add(p + "tag_undos", r.tag_undos);
+    reg.Add(p + "recovery_time_ns", r.recovery_time_ns);
+    reg.Add(p + "whole_machine_restart", r.whole_machine_restart ? 1 : 0);
+    for (size_t ph = 0; ph < kNumRecoveryPhases; ++ph) {
+      reg.Add(p + "phase." +
+                  RecoveryPhaseName(static_cast<RecoveryPhase>(ph)) + "_ns",
+              r.phase_ns[ph]);
+    }
+  }
+  return reg;
+}
+
+void MetricsRegistry::AddTrace(const TraceRecorder& tracer) {
+  Add("trace.recorded", tracer.total_recorded());
+  Add("trace.dropped", tracer.total_dropped());
+}
+
+json::Value MetricsRegistry::ToJson() const {
+  json::Value obj = json::Value::Object();
+  for (const auto& [name, value] : entries_) {
+    obj.Set(name, value);
+  }
+  return obj;
+}
+
+}  // namespace smdb

@@ -1,0 +1,52 @@
+#ifndef SMDB_OBS_METRICS_H_
+#define SMDB_OBS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace smdb {
+
+struct HarnessReport;
+class TraceRecorder;
+
+/// One flat, ordered name -> value snapshot unifying every subsystem's
+/// counters: machine/coherence stats, WAL and group-commit stats, txn,
+/// lock-table, B+-tree and executor counters, per-recovery outcome gauges
+/// (including the per-phase durations), and tracer accounting. Names are
+/// dot-prefixed by subsystem ("machine.reads", "wal.forces",
+/// "recovery.0.phase.redo_ns", ...). The registry is what --stats-json
+/// writes and what benches emit next to their BENCH_*.json rows.
+class MetricsRegistry {
+ public:
+  /// Appends a counter. Names are not deduplicated — callers own prefixing.
+  void Add(const std::string& name, uint64_t value) {
+    entries_.emplace_back(name, json::Value::Uint(value));
+  }
+  void AddDouble(const std::string& name, double value) {
+    entries_.emplace_back(name, json::Value::Double(value));
+  }
+
+  /// Builds the full snapshot from a harness run's report.
+  static MetricsRegistry FromReport(const HarnessReport& report);
+
+  /// Appends the tracer's accounting ("trace.recorded", "trace.dropped").
+  void AddTrace(const TraceRecorder& tracer);
+
+  /// Insertion-ordered object of every entry.
+  json::Value ToJson() const;
+
+  const std::vector<std::pair<std::string, json::Value>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, json::Value>> entries_;
+};
+
+}  // namespace smdb
+
+#endif  // SMDB_OBS_METRICS_H_

@@ -1,0 +1,159 @@
+#ifndef SMDB_OBS_TRACE_H_
+#define SMDB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/types.h"
+
+namespace smdb {
+
+/// Typed trace events. One enum for every instrumented site so a single
+/// ring-buffer entry stays POD-sized; the payload fields `a`/`b` are
+/// interpreted per kind (documented on each enumerator).
+enum class TraceEventKind : uint8_t {
+  // Coherence actions (sim/machine.cc). a = line address.
+  kMigration,     ///< dirty line moved to the requesting cache; peer = old owner
+  kReplication,   ///< line copied into the requesting cache; peer = source
+  kInvalidation,  ///< sharer copy invalidated; node = writer, peer = sharer
+  kDowngrade,     ///< exclusive copy downgraded to shared; peer = old owner
+
+  // WAL actions (wal/log_manager.cc, wal/group_commit.cc).
+  kLogAppend,         ///< record appended to the volatile tail; a = lsn
+  kForceIntent,       ///< force requested/armed; label = "commit"|"lbm", a = lsn
+  kLogForce,          ///< batched force to stable storage; peer = requestor,
+                      ///< a = batch size, b = last stable lsn
+  kGroupCommitFlush,  ///< pipeline flushed a node's queue; a = pending
+                      ///< commits, label = "size"|"deadline"|"direct"
+
+  // Transaction lifecycle (txn/txn_manager.cc). txn = transaction id.
+  kTxnBegin,       ///< a = begin-record lsn
+  kTxnCommitWait,  ///< commit parked pending a group force; a = commit lsn
+  kTxnCommit,      ///< commit finished; label = "resolved" for crash-time
+                   ///< completion of a durable pending commit
+  kTxnAbort,       ///< abort finished; label = "annulled" for crash annulment
+
+  // Lock manager (lockmgr/lock_table.cc). a = lock name, b = mode.
+  kLockAcquire,  ///< lock granted; label = "poll" when granted from the queue
+  kLockRelease,  ///< lock released
+
+  // Failures and recovery (sim/machine.cc, core/recovery_manager.cc).
+  kCrash,          ///< node crashed
+  kRecoveryPhase,  ///< span: label = phase name, dur = phase sim-time
+  kTagDecision,    ///< tag-scan verdict; label = "heap-undo"|"heap-stale"|
+                   ///< "index-undo"|"index-stale", a = rid/key, txn = owner
+};
+
+/// Human-readable name of a kind (stable; used in exported JSON).
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// One trace entry. POD so the per-node rings are flat arrays; `label`
+/// must point at a string with static storage duration (phase names,
+/// decision labels) — the recorder never copies or frees it.
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kCrash;
+  NodeId node = 0;            ///< ring / Chrome-trace track the event lands on
+  NodeId peer = kInvalidNode; ///< other party, when the action has one
+  TxnId txn = kInvalidTxn;
+  SimTime ts = 0;   ///< sim-ns at emission
+  SimTime dur = 0;  ///< sim-ns span length; 0 = instant
+  uint64_t a = 0;
+  uint64_t b = 0;
+  const char* label = nullptr;
+  uint64_t seq = 0;  ///< recorder-assigned global emission order
+};
+
+/// Tracing knobs, carried in DatabaseConfig.
+struct TraceConfig {
+  /// Runtime switch. Off (the default) leaves only a pointer + bool test
+  /// at every emission site; build with -DSMDB_TRACE_DISABLED (CMake
+  /// option SMDB_DISABLE_TRACING) to compile the sites out entirely.
+  bool enabled = false;
+  /// Ring capacity per node; oldest events are dropped (and counted) once
+  /// a node's ring is full.
+  uint32_t capacity_per_node = 4096;
+};
+
+/// Per-node fixed-capacity ring buffers of TraceEvents with drop-oldest
+/// overflow. Thread-safe: Record takes a mutex, but the sim's emission
+/// sites all run on the recovery coordinator / harness thread, so for a
+/// fixed seed the recorded sequence (including the global `seq` order) is
+/// deterministic at any recovery_threads / --jobs setting.
+class TraceRecorder {
+ public:
+  TraceRecorder(uint16_t num_nodes, uint32_t capacity_per_node);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+  uint16_t num_nodes() const { return static_cast<uint16_t>(rings_.size()); }
+  uint32_t capacity_per_node() const { return capacity_; }
+
+  /// Records one event (assigns its global seq). Out-of-range nodes are
+  /// clamped to ring 0 rather than dropped so misrouted events stay
+  /// visible in the export.
+  void Record(TraceEvent ev);
+
+  /// Events dropped from one node's ring / across all rings.
+  uint64_t dropped(NodeId node) const;
+  uint64_t total_dropped() const;
+  /// Events ever recorded (including since-dropped ones).
+  uint64_t total_recorded() const;
+
+  /// One node's surviving events, oldest first.
+  std::vector<TraceEvent> Events(NodeId node) const;
+  /// All surviving events merged in global emission (seq) order.
+  std::vector<TraceEvent> AllEvents() const;
+  /// The last `n` surviving events of one node, oldest first.
+  std::vector<TraceEvent> Tail(NodeId node, size_t n) const;
+
+  /// Plain JSON export: {"events": [...], "dropped": [...], "recorded": N}.
+  json::Value ToJson() const;
+  /// Chrome trace-event export (load at chrome://tracing or ui.perfetto.dev):
+  /// one track (tid) per node, "X" complete events for spans, "i" instants.
+  json::Value ChromeTraceJson() const;
+  std::string ToChromeTrace(int indent = 1) const {
+    return ChromeTraceJson().Dump(indent);
+  }
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> buf;  ///< size = capacity once full
+    size_t next = 0;              ///< overwrite cursor once full
+    uint64_t recorded = 0;
+    uint64_t dropped = 0;
+  };
+
+  std::vector<TraceEvent> EventsLocked(NodeId node) const;
+
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  uint32_t capacity_;
+  std::vector<Ring> rings_;
+  uint64_t seq_ = 0;
+};
+
+/// Serializes one event as a JSON object (shared by ToJson and the
+/// forensic reports).
+json::Value TraceEventJson(const TraceEvent& ev);
+
+}  // namespace smdb
+
+/// Emission macro: compiles to nothing under SMDB_DISABLE_TRACING, else a
+/// null + enabled check ahead of the Record call. `tracer_expr` must
+/// evaluate to a TraceRecorder*.
+#ifdef SMDB_TRACE_DISABLED
+#define SMDB_TRACE(tracer_expr, ...) ((void)0)
+#else
+#define SMDB_TRACE(tracer_expr, ...)                              \
+  do {                                                            \
+    ::smdb::TraceRecorder* smdb_trace_rec = (tracer_expr);        \
+    if (smdb_trace_rec != nullptr && smdb_trace_rec->enabled()) { \
+      smdb_trace_rec->Record(__VA_ARGS__);                        \
+    }                                                             \
+  } while (0)
+#endif
+
+#endif  // SMDB_OBS_TRACE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace smdb {
 
 Machine::Machine(MachineConfig config) : config_(config) {
@@ -87,6 +89,11 @@ Status Machine::ReadLine(NodeId node, LineAddr line,
     // LBM can force the departing node's log.
     FireCoherence(CoherenceEvent::Kind::kDowngrade, line, e.owner, node,
                   e.active_bit);
+    SMDB_TRACE(tracer_, {.kind = TraceEventKind::kDowngrade,
+                         .node = node,
+                         .peer = e.owner,
+                         .ts = clocks_[node],
+                         .a = line});
     Cache::Entry* owner_entry = caches_[e.owner].Find(line);
     assert(owner_entry != nullptr);
     owner_entry->state = LineState::kShared;
@@ -97,6 +104,11 @@ Status Machine::ReadLine(NodeId node, LineAddr line,
     ++stats_.remote_transfers;
     if (e.last_writer != kInvalidNode && e.last_writer != node) {
       ++stats_.replications;
+      SMDB_TRACE(tracer_, {.kind = TraceEventKind::kReplication,
+                           .node = node,
+                           .peer = e.last_writer,
+                           .ts = clocks_[node],
+                           .a = line});
     }
     Tick(node, config_.timing.remote_transfer_ns);
   } else if (e.sharers != 0) {
@@ -108,6 +120,11 @@ Status Machine::ReadLine(NodeId node, LineAddr line,
     ++stats_.remote_transfers;
     if (e.last_writer != kInvalidNode && e.last_writer != node) {
       ++stats_.replications;
+      SMDB_TRACE(tracer_, {.kind = TraceEventKind::kReplication,
+                           .node = node,
+                           .peer = e.last_writer,
+                           .ts = clocks_[node],
+                           .a = line});
     }
     Tick(node, config_.timing.remote_transfer_ns);
   } else if (e.mem_valid) {
@@ -174,6 +191,11 @@ Status Machine::AcquireExclusive(NodeId node, LineAddr line,
     others &= others - 1;
     FireCoherence(CoherenceEvent::Kind::kInvalidate, line, s, node,
                   e.active_bit);
+    SMDB_TRACE(tracer_, {.kind = TraceEventKind::kInvalidation,
+                         .node = node,
+                         .peer = s,
+                         .ts = clocks_[node],
+                         .a = line});
     caches_[s].Erase(line);
     ++stats_.invalidations;
     if (e.last_writer == s && s != node) migrated = true;
@@ -183,7 +205,14 @@ Status Machine::AcquireExclusive(NodeId node, LineAddr line,
       !for_line_lock) {
     migrated = true;  // dirty data now held solely by a different node
   }
-  if (migrated) ++stats_.migrations;
+  if (migrated) {
+    ++stats_.migrations;
+    SMDB_TRACE(tracer_, {.kind = TraceEventKind::kMigration,
+                         .node = node,
+                         .peer = e.last_writer,
+                         .ts = clocks_[node],
+                         .a = line});
+  }
 
   cache.Insert(line, LineState::kExclusive, data);
   e.sharers = (1ULL << node);
@@ -409,6 +438,9 @@ void Machine::CrashNode(NodeId node) {
     }
   });
 
+  SMDB_TRACE(tracer_, {.kind = TraceEventKind::kCrash,
+                       .node = node,
+                       .ts = clocks_[node]});
   CrashEvent ev{node};
   for (const auto& hook : crash_hooks_) hook(ev);
 }

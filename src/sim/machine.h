@@ -17,6 +17,8 @@
 
 namespace smdb {
 
+class TraceRecorder;
+
 /// Deterministic functional + timing simulator of a cache-coherent shared
 /// memory multiprocessor with independent node failures — the substrate the
 /// paper assumes (Stanford FLASH-style fault containment, KSR-1 line locks).
@@ -179,6 +181,10 @@ class Machine {
   uint16_t num_nodes() const { return config_.num_nodes; }
   uint32_t line_size() const { return config_.line_size; }
 
+  /// Optional event tracer (owned by Database); null = no tracing. The
+  /// machine emits coherence-action and crash events through it.
+  void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+
  private:
   /// Makes `line` valid in `node`'s cache for reading; performs coherence
   /// transitions and charges costs. On success *data points at the node's
@@ -212,6 +218,7 @@ class Machine {
   std::vector<SimTime> clocks_;
   LineLockTable line_locks_;
   MachineStats stats_;
+  TraceRecorder* tracer_ = nullptr;
 
   Addr next_addr_ = 0;
   std::unordered_map<LineAddr, NodeId> home_override_;

@@ -6,19 +6,12 @@ namespace smdb {
 
 std::string MachineStats::ToString() const {
   std::ostringstream os;
-  os << "reads=" << reads << " writes=" << writes
-     << " local_hits=" << local_hits
-     << " remote_transfers=" << remote_transfers
-     << " memory_fetches=" << memory_fetches << "\n"
-     << "invalidations=" << invalidations << " downgrades=" << downgrades
-     << " broadcast_updates=" << broadcast_updates
-     << " migrations=" << migrations << " replications=" << replications
-     << "\n"
-     << "line_lock_acquires=" << line_lock_acquires
-     << " line_lock_wait_ns=" << line_lock_wait_ns
-     << " line_lock_total_ns=" << line_lock_total_ns << "\n"
-     << "node_crashes=" << node_crashes << " lines_lost=" << lines_lost
-     << " lost_line_references=" << lost_line_references;
+  size_t i = 0;
+  ForEachCounter(*this, [&](const char* name, uint64_t value) {
+    if (i > 0) os << (i % 5 == 0 ? "\n" : " ");
+    os << name << "=" << value;
+    ++i;
+  });
   return os.str();
 }
 

@@ -40,9 +40,37 @@ struct MachineStats {
 
   void Reset() { *this = MachineStats(); }
 
-  /// Multi-line human-readable dump.
+  /// Multi-line human-readable dump. Derived from ForEachCounter, so it
+  /// covers exactly the visited field set.
   std::string ToString() const;
 };
+
+/// Visits every MachineStats field as ("name", value) in declaration
+/// order. ToString and the obs MetricsRegistry both derive from this one
+/// list, so a field added here shows up in the human dump and the JSON
+/// snapshot together (obs_test asserts the two stay in sync).
+template <typename Fn>
+void ForEachCounter(const MachineStats& s, Fn&& fn) {
+  fn("reads", s.reads);
+  fn("writes", s.writes);
+  fn("local_hits", s.local_hits);
+  fn("remote_transfers", s.remote_transfers);
+  fn("memory_fetches", s.memory_fetches);
+  fn("invalidations", s.invalidations);
+  fn("downgrades", s.downgrades);
+  fn("broadcast_updates", s.broadcast_updates);
+  fn("migrations", s.migrations);
+  fn("replications", s.replications);
+  fn("line_lock_acquires", s.line_lock_acquires);
+  fn("line_lock_wait_ns", s.line_lock_wait_ns);
+  fn("line_lock_total_ns", s.line_lock_total_ns);
+  fn("node_crashes", s.node_crashes);
+  fn("lines_lost", s.lines_lost);
+  fn("lost_line_references", s.lost_line_references);
+  // Diagnostics: raw line address (kInvalidLine when no reference was ever
+  // lost). Kept in the visited set so it can't silently drop out of dumps.
+  fn("last_lost_reference", static_cast<uint64_t>(s.last_lost_reference));
+}
 
 }  // namespace smdb
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "db/page_layout.h"
+#include "obs/trace.h"
 #include "sim/machine.h"
 #include "wal/group_commit.h"
 
@@ -41,6 +42,11 @@ Transaction* TxnManager::Begin(NodeId node) {
   ptr->last_lsn = log_->Append(node, std::move(rec));
   ptr->first_lsn = ptr->last_lsn;
   ++stats_.begins;
+  SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnBegin,
+                       .node = node,
+                       .txn = id,
+                       .ts = machine_->NodeClock(node),
+                       .a = ptr->first_lsn});
   for (auto* obs : observers_) obs->OnBegin(id);
   return ptr;
 }
@@ -310,6 +316,11 @@ Status TxnManager::CommitImpl(Transaction* txn, bool allow_group) {
   if (allow_group && gc_ != nullptr) {
     SMDB_RETURN_IF_ERROR(gc_->EnqueueCommit(node, txn->id, txn->last_lsn));
     if (!log_->IsStable(node, txn->last_lsn)) {
+      SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnCommitWait,
+                           .node = node,
+                           .txn = txn->id,
+                           .ts = machine_->NodeClock(node),
+                           .a = txn->last_lsn});
       return Status::Busy("commit pending group force");
     }
     // The enqueue itself tripped the size bound (or the record was already
@@ -380,6 +391,10 @@ Status TxnManager::FinishCommit(Transaction* txn) {
   txn->state = TxnState::kCommitted;
   if (deps_ != nullptr) deps_->OnTxnEnd(txn->id);
   ++stats_.commits;
+  SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnCommit,
+                       .node = node,
+                       .txn = txn->id,
+                       .ts = machine_->NodeClock(node)});
   NotifyCommit(txn->id);
   return Status::Ok();
 }
@@ -408,6 +423,11 @@ Status TxnManager::ResolvePendingCommits() {
     txn->state = TxnState::kCommitted;
     if (deps_ != nullptr) deps_->OnTxnEnd(txn->id);
     ++stats_.commits;
+    SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnCommit,
+                         .node = node,
+                         .txn = txn->id,
+                         .ts = machine_->NodeClock(node),
+                         .label = "resolved"});
     NotifyCommit(txn->id);
     resolved_commit_ids_.insert(txn->id);
   }
@@ -564,6 +584,10 @@ Status TxnManager::Abort(Transaction* txn) {
   txn->state = TxnState::kAborted;
   if (deps_ != nullptr) deps_->OnTxnEnd(txn->id);
   ++stats_.aborts;
+  SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnAbort,
+                       .node = txn->node(),
+                       .txn = txn->id,
+                       .ts = machine_->NodeClock(txn->node())});
   NotifyAbort(txn->id);
   return Status::Ok();
 }
@@ -626,6 +650,11 @@ void TxnManager::MarkCrashAnnulled(Transaction* txn) {
   txn->queued_locks.clear();
   waiting_for_.erase(txn->id);
   if (deps_ != nullptr) deps_->OnTxnEnd(txn->id);
+  SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnAbort,
+                       .node = txn->node(),
+                       .txn = txn->id,
+                       .ts = machine_->NodeClock(txn->node()),
+                       .label = "annulled"});
   NotifyAbort(txn->id);
 }
 

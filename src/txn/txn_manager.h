@@ -24,6 +24,7 @@ namespace smdb {
 
 class Machine;
 class GroupCommitPipeline;
+class TraceRecorder;
 
 struct TxnManagerStats {
   uint64_t begins = 0;
@@ -35,6 +36,19 @@ struct TxnManagerStats {
   uint64_t undo_tag_writes = 0;  // Table 1 row 3 accounting
 
   void Reset() { *this = TxnManagerStats(); }
+
+  /// Visits every field as ("name", value) — the metrics registry's
+  /// source of truth for this struct.
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+    fn("begins", begins);
+    fn("commits", commits);
+    fn("aborts", aborts);
+    fn("deadlock_aborts", deadlock_aborts);
+    fn("updates", updates);
+    fn("reads", reads);
+    fn("undo_tag_writes", undo_tag_writes);
+  }
 };
 
 /// Transaction manager: begin/commit/abort plus the record and index
@@ -183,6 +197,9 @@ class TxnManager {
 
   TxnManagerStats& stats() { return stats_; }
   const RecoveryConfig& config() const { return config_; }
+
+  /// Optional event tracer (owned by Database); null = no tracing.
+  void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
   LbmPolicy* lbm() { return lbm_; }
   UsnSource* usn() { return usn_; }
   RecordStore* records() { return records_; }
@@ -226,6 +243,7 @@ class TxnManager {
   UsnSource* usn_;
   DependencyTracker* deps_;  // may be null
   GroupCommitPipeline* gc_ = nullptr;  // may be null (group commit off)
+  TraceRecorder* tracer_ = nullptr;    // may be null (tracing off)
   RecoveryConfig config_;
   std::set<TxnId> resolved_commit_ids_;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sim/machine.h"
 #include "wal/log_manager.h"
 
@@ -36,6 +37,11 @@ Status GroupCommitPipeline::FlushNow(NodeId node, bool size_bound) {
   } else {
     ++stats_.deadline_flushes;
   }
+  SMDB_TRACE(tracer_, {.kind = TraceEventKind::kGroupCommitFlush,
+                       .node = node,
+                       .ts = machine_->NodeClock(node),
+                       .a = ns.commits.size(),
+                       .label = size_bound ? "size" : "deadline"});
   SMDB_RETURN_IF_ERROR(log_->Force(node, node));
   // A pipeline flush that covered an eager-LBM intent is a Stable-LBM
   // force for accounting purposes (it replaces what would have been one
@@ -49,6 +55,12 @@ Status GroupCommitPipeline::EnqueueCommit(NodeId node, TxnId txn, Lsn lsn) {
   SimTime now = machine_->NodeClock(node);
   ns.commits.push_back(PendingCommit{txn, lsn, now});
   ++stats_.enqueued_commits;
+  SMDB_TRACE(tracer_, {.kind = TraceEventKind::kForceIntent,
+                       .node = node,
+                       .txn = txn,
+                       .ts = now,
+                       .a = lsn,
+                       .label = "commit"});
   ArmDeadline(&ns, now);
   return MaybeSizeFlush(node);
 }
@@ -58,6 +70,10 @@ Status GroupCommitPipeline::NoteLbmIntent(NodeId node) {
   ++stats_.lbm_intents;
   if (!ns.has_intent) {
     ns.has_intent = true;
+    SMDB_TRACE(tracer_, {.kind = TraceEventKind::kForceIntent,
+                         .node = node,
+                         .ts = machine_->NodeClock(node),
+                         .label = "lbm"});
     ArmDeadline(&ns, machine_->NodeClock(node));
   }
   return MaybeSizeFlush(node);

@@ -11,6 +11,7 @@ namespace smdb {
 
 class Machine;
 class LogManager;
+class TraceRecorder;
 
 /// Per-node flush-coalescing layer in front of LogManager::Force.
 ///
@@ -52,6 +53,16 @@ class GroupCommitPipeline {
     uint64_t size_flushes = 0;
 
     void Reset() { *this = Stats(); }
+
+    /// Visits every field as ("name", value) — the metrics registry's
+    /// source of truth for this struct.
+    template <typename Fn>
+    void ForEachCounter(Fn&& fn) const {
+      fn("enqueued_commits", enqueued_commits);
+      fn("lbm_intents", lbm_intents);
+      fn("deadline_flushes", deadline_flushes);
+      fn("size_flushes", size_flushes);
+    }
   };
 
   /// Registers a force hook on `log` to observe covering forces.
@@ -92,6 +103,9 @@ class GroupCommitPipeline {
   size_t PendingCount(NodeId node) const { return nodes_[node].commits.size(); }
   const Stats& stats() const { return stats_; }
 
+  /// Optional event tracer (owned by Database); null = no tracing.
+  void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+
  private:
   struct NodeState {
     std::vector<PendingCommit> commits;
@@ -112,6 +126,7 @@ class GroupCommitPipeline {
 
   Machine* machine_;
   LogManager* log_;
+  TraceRecorder* tracer_ = nullptr;
   SimTime window_ns_;
   uint32_t max_batch_;
   std::vector<NodeState> nodes_;

@@ -1,8 +1,22 @@
 #include "wal/log_manager.h"
 
+#include <sstream>
+
+#include "obs/trace.h"
 #include "sim/machine.h"
 
 namespace smdb {
+
+std::string LogStats::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  ForEachCounter(*this, [&](const auto& name, uint64_t value) {
+    if (!first) os << " ";
+    os << name << "=" << value;
+    first = false;
+  });
+  return os.str();
+}
 
 LogManager::LogManager(Machine* machine, StableLogStore* stable)
     : machine_(machine), stable_(stable) {
@@ -16,9 +30,15 @@ LogManager::LogManager(Machine* machine, StableLogStore* stable)
 Lsn LogManager::Append(NodeId node, LogRecord rec) {
   rec.lsn = next_lsn_[node]++;
   rec.node = node;
+  const TxnId txn = rec.txn;
   tails_[node].push_back(std::move(rec));
   ++stats_.appends;
   machine_->Tick(node, machine_->config().timing.volatile_log_write_ns);
+  SMDB_TRACE(tracer_, {.kind = TraceEventKind::kLogAppend,
+                       .node = node,
+                       .txn = txn,
+                       .ts = machine_->NodeClock(node),
+                       .a = next_lsn_[node] - 1});
   return next_lsn_[node] - 1;
 }
 
@@ -43,6 +63,12 @@ Status LogManager::Force(NodeId requestor, NodeId node) {
     std::vector<LogRecord> batch(tail.begin(), tail.end());
     tail.clear();
     stable_->Append(node, std::move(batch));
+    SMDB_TRACE(tracer_, {.kind = TraceEventKind::kLogForce,
+                         .node = node,
+                         .peer = requestor,
+                         .ts = machine_->NodeClock(requestor),
+                         .a = batch_size,
+                         .b = stable_->LastLsn(node)});
   }
   // Hooks fire even for the empty no-op force: observers learn "this log
   // is stable through its last append", which is just as true.

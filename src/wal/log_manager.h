@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -15,6 +16,7 @@
 namespace smdb {
 
 class Machine;
+class TraceRecorder;
 
 /// Statistics for the logging subsystem, used by the Table 1 and
 /// log-force-frequency experiments.
@@ -54,7 +56,29 @@ struct LogStats {
   }
 
   void Reset() { *this = LogStats(); }
+
+  /// One-line human-readable dump. Derived from ForEachCounter, so it
+  /// covers exactly the visited field set.
+  std::string ToString() const;
 };
+
+/// Visits every LogStats field as ("name", value) in declaration order,
+/// with one entry per histogram bucket ("force_batch_3-4", ...). ToString
+/// and the obs MetricsRegistry both derive from this list (obs_test
+/// asserts the two stay in sync).
+template <typename Fn>
+void ForEachCounter(const LogStats& s, Fn&& fn) {
+  fn("appends", s.appends);
+  fn("forces", s.forces);
+  fn("forced_records", s.forced_records);
+  fn("truncated_records", s.truncated_records);
+  fn("lbm_forces", s.lbm_forces);
+  for (size_t b = 0; b < LogStats::kBatchBuckets; ++b) {
+    fn(std::string("force_batch_") + LogStats::BatchBucketLabel(b),
+       s.force_batch_hist[b]);
+  }
+  fn("max_force_batch", s.max_force_batch);
+}
 
 /// Per-node write-ahead logs with volatile in-cache tails.
 ///
@@ -153,8 +177,12 @@ class LogManager {
   const LogStats& stats() const { return stats_; }
   StableLogStore& stable_store() { return *stable_; }
 
+  /// Optional event tracer (owned by Database); null = no tracing.
+  void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+
  private:
   Machine* machine_;
+  TraceRecorder* tracer_ = nullptr;
   StableLogStore* stable_;
   std::vector<std::deque<LogRecord>> tails_;
   std::vector<Lsn> next_lsn_;

@@ -156,6 +156,9 @@ void Harness::FillReport(HarnessReport* report) {
   report->txns = db_->txn().stats();
   report->locks = db_->locks().stats();
   report->btree = db_->index().stats();
+  if (db_->group_commit() != nullptr) {
+    report->gc = db_->group_commit()->stats();
+  }
   report->disk_reads = db_->stable_db().reads();
   report->disk_writes = db_->stable_db().writes();
   report->steps = exec_->steps();

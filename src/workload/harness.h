@@ -65,6 +65,8 @@ struct HarnessReport {
   TxnManagerStats txns;
   LockTableStats locks;
   BTreeStats btree;
+  /// Zero when the group-commit pipeline is off.
+  GroupCommitPipeline::Stats gc;
   uint64_t disk_reads = 0;
   uint64_t disk_writes = 0;
   uint64_t steps = 0;

@@ -1,0 +1,401 @@
+// Coverage for the observability layer (src/obs/): event tracing, the
+// unified metrics snapshot, and crash forensics.
+//
+//   1. Trace determinism: for a fixed config + seed the recorded event
+//      sequence (kinds, nodes, payloads, timestamps, global order) is
+//      bit-identical run to run — at recovery_threads = 1 and at 4. That
+//      is what makes traces embedded in fuzzer replay documents evidence
+//      rather than noise.
+//   2. Ring accounting: fixed-capacity drop-oldest overflow keeps exactly
+//      the newest events and counts every drop; out-of-range nodes clamp
+//      to ring 0 instead of vanishing.
+//   3. Chrome-trace export: well-formed JSON, one named track per node,
+//      recovery phases as "X" complete spans.
+//   4. Stats parity: MachineStats/LogStats::ToString and the ForEachCounter
+//      visitors cover the same field set, so the human dump and the JSON
+//      snapshot can never drift apart.
+//   5. Metrics snapshot: FromReport unifies every subsystem prefix and the
+//      per-recovery phase durations into one parseable object.
+//   6. Forensics: a fuzz-caught IFA violation yields a non-empty forensic
+//      report (violation, trace tails, log chain, tag decisions) that
+//      rides inside the replay document and round-trips through ParseReplay.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+#include "obs/forensics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/harness.h"
+
+namespace smdb {
+namespace {
+
+// Under -DSMDB_DISABLE_TRACING the emission sites are compiled out, so the
+// tests that rely on recorded events skip (the ring/metrics mechanics are
+// still exercised).
+#ifdef SMDB_TRACE_DISABLED
+constexpr bool kTraceCompiledOut = true;
+#else
+constexpr bool kTraceCompiledOut = false;
+#endif
+
+#define SMDB_SKIP_IF_TRACING_COMPILED_OUT()                             \
+  if (kTraceCompiledOut) {                                              \
+    GTEST_SKIP() << "emission sites compiled out (SMDB_TRACE_DISABLED)"; \
+  }
+
+HarnessConfig TracedConfig(uint32_t recovery_threads) {
+  HarnessConfig cfg;
+  cfg.db.machine.num_nodes = 6;
+  cfg.db.recovery = RecoveryConfig::VolatileSelectiveRedo();
+  cfg.db.recovery.recovery_threads = recovery_threads;
+  cfg.db.trace.enabled = true;
+  cfg.workload.txns_per_node = 12;
+  cfg.workload.ops_per_txn = 6;
+  cfg.workload.write_ratio = 0.6;
+  cfg.workload.index_op_ratio = 0.2;
+  cfg.workload.seed = 4242;
+  cfg.crashes.push_back(CrashPlan{120, {2}, /*restart_after=*/true});
+  cfg.crashes.push_back(CrashPlan{260, {4}, /*restart_after=*/false});
+  return cfg;
+}
+
+std::vector<TraceEvent> RunAndCollect(uint32_t recovery_threads) {
+  Harness h(TracedConfig(recovery_threads));
+  auto report = h.Run();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->verify_status.ok())
+      << report->verify_status.ToString();
+  return h.db().tracer().AllEvents();
+}
+
+void ExpectIdenticalTraces(const std::vector<TraceEvent>& a,
+                           const std::vector<TraceEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].peer, b[i].peer);
+    EXPECT_EQ(a[i].txn, b[i].txn);
+    EXPECT_EQ(a[i].ts, b[i].ts);
+    EXPECT_EQ(a[i].dur, b[i].dur);
+    EXPECT_EQ(a[i].a, b[i].a);
+    EXPECT_EQ(a[i].b, b[i].b);
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    EXPECT_EQ(std::string(a[i].label == nullptr ? "" : a[i].label),
+              std::string(b[i].label == nullptr ? "" : b[i].label));
+  }
+}
+
+TEST(TraceDeterminism, SameSeedSameEventsSerial) {
+  SMDB_SKIP_IF_TRACING_COMPILED_OUT();
+  std::vector<TraceEvent> first = RunAndCollect(1);
+  std::vector<TraceEvent> second = RunAndCollect(1);
+  ASSERT_FALSE(first.empty());
+  ExpectIdenticalTraces(first, second);
+}
+
+TEST(TraceDeterminism, SameSeedSameEventsParallelRecovery) {
+  SMDB_SKIP_IF_TRACING_COMPILED_OUT();
+  // Trace emission happens only on the coordinator path, so the recorded
+  // sequence is deterministic even with 4 recovery worker streams.
+  std::vector<TraceEvent> first = RunAndCollect(4);
+  std::vector<TraceEvent> second = RunAndCollect(4);
+  ASSERT_FALSE(first.empty());
+  ExpectIdenticalTraces(first, second);
+}
+
+TEST(TraceDeterminism, RunCoversTheInstrumentedSubsystems) {
+  SMDB_SKIP_IF_TRACING_COMPILED_OUT();
+  std::vector<TraceEvent> events = RunAndCollect(1);
+  std::set<TraceEventKind> kinds;
+  for (const TraceEvent& ev : events) kinds.insert(ev.kind);
+  // A crashing update-heavy workload must cross all the major families:
+  // coherence traffic, WAL appends + forces, txn lifecycle, locks, the
+  // crash itself, and recovery-phase spans with tag-scan decisions.
+  EXPECT_TRUE(kinds.contains(TraceEventKind::kLogAppend));
+  EXPECT_TRUE(kinds.contains(TraceEventKind::kLogForce));
+  EXPECT_TRUE(kinds.contains(TraceEventKind::kTxnBegin));
+  EXPECT_TRUE(kinds.contains(TraceEventKind::kTxnCommit));
+  EXPECT_TRUE(kinds.contains(TraceEventKind::kLockAcquire));
+  EXPECT_TRUE(kinds.contains(TraceEventKind::kLockRelease));
+  EXPECT_TRUE(kinds.contains(TraceEventKind::kCrash));
+  EXPECT_TRUE(kinds.contains(TraceEventKind::kRecoveryPhase));
+  bool coherence = kinds.contains(TraceEventKind::kMigration) ||
+                   kinds.contains(TraceEventKind::kReplication) ||
+                   kinds.contains(TraceEventKind::kInvalidation);
+  EXPECT_TRUE(coherence) << "no coherence events on a shared workload";
+}
+
+TEST(TraceRecorderRing, DropOldestKeepsTheNewestAndCounts) {
+  TraceRecorder rec(/*num_nodes=*/2, /*capacity_per_node=*/8);
+  rec.set_enabled(true);
+  for (uint64_t i = 0; i < 20; ++i) {
+    rec.Record({.kind = TraceEventKind::kLogAppend, .node = 0, .a = i});
+  }
+  std::vector<TraceEvent> kept = rec.Events(0);
+  ASSERT_EQ(kept.size(), 8u);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].a, 12 + i) << "ring must keep the newest 8";
+  }
+  EXPECT_EQ(rec.dropped(0), 12u);
+  EXPECT_EQ(rec.dropped(1), 0u);
+  EXPECT_EQ(rec.total_dropped(), 12u);
+  EXPECT_EQ(rec.total_recorded(), 20u);
+  // Tail returns the last n, oldest first.
+  std::vector<TraceEvent> tail = rec.Tail(0, 3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].a, 17u);
+  EXPECT_EQ(tail[2].a, 19u);
+}
+
+TEST(TraceRecorderRing, OutOfRangeNodeClampsToRingZero) {
+  TraceRecorder rec(/*num_nodes=*/2, /*capacity_per_node=*/8);
+  rec.set_enabled(true);
+  rec.Record({.kind = TraceEventKind::kCrash, .node = 77});
+  std::vector<TraceEvent> ring0 = rec.Events(0);
+  ASSERT_EQ(ring0.size(), 1u);
+  EXPECT_EQ(ring0[0].node, 77);  // original node id preserved in the event
+  EXPECT_EQ(rec.total_recorded(), 1u);
+}
+
+TEST(TraceRecorderRing, DisabledRecorderRecordsNothing) {
+  TraceRecorder rec(/*num_nodes=*/1, /*capacity_per_node=*/8);
+  SMDB_TRACE(&rec, {.kind = TraceEventKind::kCrash, .node = 0});
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  SMDB_TRACE(static_cast<TraceRecorder*>(nullptr),
+             {.kind = TraceEventKind::kCrash, .node = 0});  // must not crash
+}
+
+TEST(ChromeTrace, ExportIsWellFormedWithPerNodeTracks) {
+  SMDB_SKIP_IF_TRACING_COMPILED_OUT();
+  Harness h(TracedConfig(1));
+  auto report = h.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto parsed = json::Value::Parse(h.db().tracer().ToChromeTrace());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->array().empty());
+
+  size_t thread_names = 0;
+  size_t recovery_spans = 0;
+  for (const json::Value& ev : events->array()) {
+    ASSERT_TRUE(ev.is_object());
+    const std::string ph = ev.GetString("ph");
+    ASSERT_FALSE(ph.empty());
+    ASSERT_NE(ev.Find("name"), nullptr);
+    ASSERT_NE(ev.Find("pid"), nullptr);
+    ASSERT_NE(ev.Find("tid"), nullptr);
+    if (ph != "M") ASSERT_NE(ev.Find("ts"), nullptr);
+    if (ph == "M" && ev.GetString("name") == "thread_name") ++thread_names;
+    if (ph == "X") {
+      ASSERT_NE(ev.Find("dur"), nullptr);
+      const std::string name = ev.GetString("name");
+      if (name == "recovery" || name == "redo" || name == "undo" ||
+          name == "tag_scan" || name == "reload" || name == "reboot" ||
+          name == "lock_rebuild" || name == "log_analysis") {
+        ++recovery_spans;
+      }
+    }
+  }
+  EXPECT_EQ(thread_names, 6u) << "one metadata track per node";
+  EXPECT_GT(recovery_spans, 0u) << "no recovery-phase spans in the export";
+}
+
+TEST(StatsParity, MachineStatsToStringCoversTheVisitorFieldSet) {
+  MachineStats s;
+  std::string dump = s.ToString();
+  size_t visited = 0;
+  ForEachCounter(s, [&](const char* name, uint64_t) {
+    ++visited;
+    EXPECT_NE(dump.find(std::string(name) + "="), std::string::npos)
+        << "field " << name << " missing from MachineStats::ToString";
+  });
+  // Every name=value token in the dump corresponds to a visited field.
+  size_t tokens = 0;
+  for (size_t pos = dump.find('='); pos != std::string::npos;
+       pos = dump.find('=', pos + 1)) {
+    ++tokens;
+  }
+  EXPECT_EQ(tokens, visited);
+  EXPECT_GE(visited, 10u);
+}
+
+TEST(StatsParity, LogStatsToStringCoversTheVisitorFieldSet) {
+  LogStats s;
+  std::string dump = s.ToString();
+  size_t visited = 0;
+  ForEachCounter(s, [&](const auto& name, uint64_t) {
+    ++visited;
+    EXPECT_NE(dump.find(std::string(name) + "="), std::string::npos)
+        << "field " << std::string(name)
+        << " missing from LogStats::ToString";
+  });
+  size_t tokens = 0;
+  for (size_t pos = dump.find('='); pos != std::string::npos;
+       pos = dump.find('=', pos + 1)) {
+    ++tokens;
+  }
+  EXPECT_EQ(tokens, visited);
+  // 6 scalars + 8 histogram buckets.
+  EXPECT_EQ(visited, 6u + LogStats::kBatchBuckets);
+}
+
+TEST(Metrics, SnapshotUnifiesEverySubsystemAndRecoveryPhases) {
+  SMDB_SKIP_IF_TRACING_COMPILED_OUT();
+  Harness h(TracedConfig(1));
+  auto report = h.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_FALSE(report->recoveries.empty());
+
+  MetricsRegistry reg = MetricsRegistry::FromReport(*report);
+  reg.AddTrace(h.db().tracer());
+  json::Value snap = reg.ToJson();
+  ASSERT_TRUE(snap.is_object());
+
+  // One representative key per subsystem prefix.
+  for (const char* key :
+       {"machine.reads", "machine.migrations", "wal.appends", "wal.forces",
+        "txn.undo_tag_writes", "locks.acquires", "btree.splits",
+        "exec.committed", "disk.reads", "run.steps", "run.total_time_ns",
+        "recovery.count", "trace.recorded", "trace.dropped"}) {
+    EXPECT_NE(snap.Find(key), nullptr) << "missing " << key;
+  }
+  // The per-recovery phase gauges exist for every phase name.
+  for (const char* phase : {"log_analysis", "reboot", "reload", "redo",
+                            "undo", "tag_scan", "lock_rebuild"}) {
+    std::string key = std::string("recovery.0.phase.") + phase + "_ns";
+    EXPECT_NE(snap.Find(key), nullptr) << "missing " << key;
+  }
+  EXPECT_EQ(snap.GetUint("recovery.count"), report->recoveries.size());
+  EXPECT_EQ(snap.GetUint("exec.committed"), report->exec.committed);
+  EXPECT_GT(snap.GetUint("trace.recorded"), 0u);
+
+  // The snapshot serializes and parses back.
+  auto reparsed = json::Value::Parse(snap.Dump(1));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->members().size(), snap.members().size());
+}
+
+TEST(Metrics, PhaseDurationsSumIntoRecoveryTime) {
+  Harness h(TracedConfig(1));
+  auto report = h.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_FALSE(report->recoveries.empty());
+  for (const RecoveryOutcome& out : report->recoveries) {
+    SimTime phase_total = 0;
+    for (SimTime ns : out.phase_ns) phase_total += ns;
+    EXPECT_GT(phase_total, 0u);
+    EXPECT_LE(phase_total, out.recovery_time_ns)
+        << "phase spans exceed the recovery envelope";
+    // The ToString dump now carries the nonzero phases.
+    std::string dump = out.ToString();
+    EXPECT_NE(dump.find("_ns="), std::string::npos) << dump;
+  }
+}
+
+TEST(Forensics, IfaViolationYieldsABoundedReportInsideTheReplay) {
+  SMDB_SKIP_IF_TRACING_COMPILED_OUT();
+  CrashScheduleFuzzer::Options opts;
+  opts.protocols = {RecoveryConfig::VolatileSelectiveRedo()};
+  opts.disable_undo_tagging = true;
+  opts.trace_capacity = 512;
+  CrashScheduleFuzzer fuzzer(opts);
+
+  std::optional<FuzzFailure> failure;
+  for (uint64_t seed = 0; seed < 60 && !failure.has_value(); ++seed) {
+    failure = fuzzer.RunSeed(seed);
+  }
+  ASSERT_TRUE(failure.has_value())
+      << "disabled undo tagging was not detected within 60 seeds";
+  ASSERT_EQ(failure->verdict.kind, "ifa-verify") << failure->verdict.detail;
+
+  FuzzCase shrunk = fuzzer.Shrink(*failure);
+  json::Value forensics = fuzzer.CollectForensics(*failure, shrunk);
+  EXPECT_TRUE(forensics.GetBool("reproduced"));
+  const json::Value* violation = forensics.Find("violation");
+  ASSERT_NE(violation, nullptr);
+  ASSERT_TRUE(violation->is_object()) << "violation not captured";
+  EXPECT_FALSE(violation->GetString("detail").empty());
+
+  const json::Value* tails = forensics.Find("trace_tails");
+  ASSERT_NE(tails, nullptr);
+  ASSERT_TRUE(tails->is_array());
+  size_t tail_events = 0;
+  for (const json::Value& node : tails->array()) {
+    tail_events += node.Find("events")->array().size();
+  }
+  EXPECT_GT(tail_events, 0u) << "forensic report has empty trace tails";
+
+  // The log chain may legitimately be empty — the offending update's log
+  // record can die in the crashed node's volatile tail (the paper's
+  // failure mode itself) — but the object's lock history comes from the
+  // trace, which a simulated crash cannot destroy: a record violation
+  // implies somebody locked and updated it.
+  const json::Value* chain = forensics.Find("log_chain");
+  ASSERT_NE(chain, nullptr);
+  ASSERT_NE(chain->Find("total"), nullptr);
+  const json::Value* object_events = forensics.Find("object_events");
+  ASSERT_NE(object_events, nullptr);
+  EXPECT_FALSE(object_events->array().empty())
+      << "no lock history for the violated object in the trace";
+  ASSERT_NE(forensics.Find("locks"), nullptr);
+  ASSERT_NE(forensics.Find("tag_decisions"), nullptr);
+
+  // The report is embedded in the replay document, and the observability
+  // settings round-trip through ParseReplay.
+  std::string replay = fuzzer.ReplayJson(*failure, shrunk, &forensics);
+  auto raw = json::Value::Parse(replay);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  const json::Value* embedded = raw->Find("forensics");
+  ASSERT_NE(embedded, nullptr);
+  EXPECT_TRUE(embedded->GetBool("reproduced"));
+  auto doc = CrashScheduleFuzzer::ParseReplay(replay);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc->forensics_enabled);
+  EXPECT_EQ(doc->trace_capacity, 512u);
+}
+
+TEST(Forensics, PerSeedCampaignAggregatesCoverEveryCounter) {
+  CrashScheduleFuzzer::Options opts;
+  FuzzCampaignResult result = RunFuzzCampaign(opts, 0, 6, 2);
+  ASSERT_FALSE(result.failure.has_value());
+  ASSERT_EQ(result.per_seed.size(), 6u);
+
+  // Merging the per-seed blocks reproduces the campaign totals.
+  FuzzStats remerged;
+  for (const FuzzStats& s : result.per_seed) remerged.Merge(s);
+  EXPECT_EQ(remerged.runs, result.stats.runs);
+  EXPECT_EQ(remerged.committed, result.stats.committed);
+
+  json::Value agg = PerSeedAggregateJson(result.per_seed);
+  EXPECT_EQ(agg.GetUint("seeds"), 6u);
+  FuzzStats probe;
+  probe.ForEachCounter([&](const char* name, uint64_t) {
+    const json::Value* entry = agg.Find(name);
+    ASSERT_NE(entry, nullptr) << "aggregate missing " << name;
+    EXPECT_NE(entry->Find("min"), nullptr);
+    EXPECT_NE(entry->Find("max"), nullptr);
+    EXPECT_NE(entry->Find("mean"), nullptr);
+  });
+  // min <= mean <= max on a counter that definitely varies.
+  const json::Value* runs = agg.Find("runs");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_LE(runs->GetUint("min"), runs->GetUint("max"));
+  EXPECT_GE(runs->GetDouble("mean"),
+            static_cast<double>(runs->GetUint("min")));
+  EXPECT_LE(runs->GetDouble("mean"),
+            static_cast<double>(runs->GetUint("max")));
+}
+
+}  // namespace
+}  // namespace smdb

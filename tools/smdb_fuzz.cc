@@ -39,6 +39,9 @@ struct Flags {
   bool group_commit = false;
   uint64_t group_commit_window = 0;
   uint64_t group_commit_max_batch = 0;
+  bool forensics = true;
+  uint64_t trace_capacity = 0;  // 0 = keep the option default
+  std::string stats_json;       // campaign summary path ("" = none)
   std::string out_path = "smdb_fuzz_failure.json";
   std::string replay_path;
 };
@@ -69,6 +72,12 @@ void Usage() {
       "  --group-commit-max-batch=N size bound on a coalesced batch (0 =\n"
       "                        keep the protocol default)\n"
       "  --no-shrink           keep the original failing schedule\n"
+      "  --no-forensics        skip the traced forensic re-run of a shrunk\n"
+      "                        failure (replay files omit \"forensics\")\n"
+      "  --trace-capacity=N    per-node trace ring capacity for the\n"
+      "                        forensic re-run (default 4096)\n"
+      "  --stats-json=FILE     write the campaign summary (totals plus\n"
+      "                        per-seed min/max/mean) as JSON\n"
       "  --out=FILE            replay file path (default "
       "smdb_fuzz_failure.json)\n"
       "  --replay=FILE         re-execute a replay file instead of fuzzing\n"
@@ -79,7 +88,9 @@ bool TakesValue(const std::string& key) {
   return key == "--seeds" || key == "--seed-start" || key == "--protocol" ||
          key == "--break" || key == "--out" || key == "--replay" ||
          key == "--recovery-threads" || key == "--jobs" ||
-         key == "--group-commit-window" || key == "--group-commit-max-batch";
+         key == "--group-commit-window" ||
+         key == "--group-commit-max-batch" || key == "--trace-capacity" ||
+         key == "--stats-json";
 }
 
 bool ParseUint(const std::string& val, uint64_t* out) {
@@ -122,6 +133,15 @@ bool ParseFlag(Flags& f, const std::string& key, const std::string& val) {
     f.group_commit = true;
   } else if (key == "--no-shrink") {
     f.shrink = false;
+  } else if (key == "--no-forensics") {
+    f.forensics = false;
+  } else if (key == "--trace-capacity") {
+    if (!ParseUint(val, &f.trace_capacity) || f.trace_capacity == 0) {
+      return false;
+    }
+  } else if (key == "--stats-json") {
+    if (val.empty()) return false;
+    f.stats_json = val;
   } else if (key == "--out") {
     f.out_path = val;
   } else if (key == "--replay") {
@@ -145,6 +165,42 @@ void PrintStats(const FuzzStats& s) {
       static_cast<unsigned long long>(s.crashes_skipped),
       static_cast<unsigned long long>(s.whole_machine_restarts),
       static_cast<unsigned long long>(s.committed));
+}
+
+/// Campaign summary: run parameters, merged totals, per-seed min/max/mean
+/// aggregates, and the failure triple (null when clean).
+bool WriteCampaignSummary(const Flags& flags,
+                          const FuzzCampaignResult& result,
+                          const FuzzStats& totals) {
+  json::Value doc = json::Value::Object();
+  doc.Set("smdb_fuzz_stats", json::Value::Uint(1));
+  doc.Set("seed_start", json::Value::Uint(flags.seed_start));
+  doc.Set("seeds", json::Value::Uint(flags.seeds));
+  doc.Set("jobs", json::Value::Uint(flags.jobs));
+  json::Value t = json::Value::Object();
+  totals.ForEachCounter([&](const char* name, uint64_t value) {
+    t.Set(name, json::Value::Uint(value));
+  });
+  doc.Set("totals", t);
+  doc.Set("per_seed", PerSeedAggregateJson(result.per_seed));
+  if (result.failure.has_value()) {
+    json::Value fail = json::Value::Object();
+    fail.Set("seed", json::Value::Uint(result.failure->seed));
+    fail.Set("protocol",
+             json::Value::Str(result.failure->protocol.FlagName()));
+    fail.Set("kind", json::Value::Str(result.failure->verdict.kind));
+    fail.Set("detail", json::Value::Str(result.failure->verdict.detail));
+    doc.Set("failure", fail);
+  } else {
+    doc.Set("failure", json::Value::Null());
+  }
+  std::ofstream out(flags.stats_json);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", flags.stats_json.c_str());
+    return false;
+  }
+  out << doc.Dump(1) << "\n";
+  return true;
 }
 
 int Replay(const Flags& flags) {
@@ -211,19 +267,24 @@ int Fuzz(const Flags& flags) {
   opts.group_commit_window_ns = flags.group_commit_window;
   opts.group_commit_max_batch =
       static_cast<uint32_t>(flags.group_commit_max_batch);
+  opts.forensics = flags.forensics;
+  if (flags.trace_capacity != 0) {
+    opts.trace_capacity = static_cast<uint32_t>(flags.trace_capacity);
+  }
 
   FuzzCampaignResult result;
   if (flags.jobs <= 1 && flags.verbose) {
-    // Per-seed progress needs the loop inline; semantically identical to
-    // the serial campaign path.
-    CrashScheduleFuzzer fuzzer(opts);
+    // Per-seed progress needs the loop inline; one fresh fuzzer per seed,
+    // like the campaign paths, so per-seed stats blocks exist.
     for (uint64_t seed = flags.seed_start;
          seed < flags.seed_start + flags.seeds; ++seed) {
+      CrashScheduleFuzzer fuzzer(opts);
       result.failure = fuzzer.RunSeed(seed);
+      result.per_seed.push_back(fuzzer.stats());
+      result.stats.Merge(fuzzer.stats());
       if (result.failure.has_value()) break;
       std::printf("seed %llu ok\n", static_cast<unsigned long long>(seed));
     }
-    result.stats = fuzzer.stats();
   } else {
     result = RunFuzzCampaign(opts, flags.seed_start, flags.seeds,
                              static_cast<unsigned>(flags.jobs));
@@ -246,7 +307,18 @@ int Fuzz(const Flags& flags) {
                   shrunk.crashes.size(), shrunk.workload.txns_per_node,
                   shrunk.workload.ops_per_txn);
     }
-    std::string replay = fuzzer.ReplayJson(failure, shrunk);
+    json::Value forensics;
+    bool have_forensics = false;
+    if (opts.forensics) {
+      forensics = fuzzer.CollectForensics(failure, shrunk);
+      have_forensics = true;
+      std::printf("forensics: traced re-run %s\n",
+                  forensics.GetBool("reproduced")
+                      ? "reproduced the failure"
+                      : "was clean (non-state failure kind)");
+    }
+    std::string replay = fuzzer.ReplayJson(
+        failure, shrunk, have_forensics ? &forensics : nullptr);
     std::ofstream out(flags.out_path);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", flags.out_path.c_str());
@@ -258,6 +330,10 @@ int Fuzz(const Flags& flags) {
                 flags.out_path.c_str(), flags.out_path.c_str());
     stats.Merge(fuzzer.stats());
     PrintStats(stats);
+    if (!flags.stats_json.empty() &&
+        !WriteCampaignSummary(flags, result, stats)) {
+      return 1;
+    }
     return 2;
   }
   std::printf("all %llu seeds clean under %zu protocol(s)\n",
@@ -266,6 +342,10 @@ int Fuzz(const Flags& flags) {
                   ? CrashScheduleFuzzer::DefaultProtocols().size()
                   : opts.protocols.size());
   PrintStats(stats);
+  if (!flags.stats_json.empty() &&
+      !WriteCampaignSummary(flags, result, stats)) {
+    return 1;
+  }
   return 0;
 }
 

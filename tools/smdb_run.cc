@@ -9,9 +9,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "workload/harness.h"
 
 namespace smdb {
@@ -20,6 +22,8 @@ namespace {
 struct Flags {
   HarnessConfig cfg;
   bool verbose = false;
+  std::string trace_out;   // Chrome trace-event file ("" = no trace)
+  std::string stats_json;  // unified metrics snapshot ("" = none)
 };
 
 void Usage() {
@@ -55,6 +59,11 @@ void Usage() {
       "  --nvram                  NVRAM log device (cheap forces)\n"
       "  --two-line-lcb           split LCBs over two cache lines\n"
       "  --seed=N                 workload seed (default 42)\n"
+      "  --trace-out=PATH         record event traces and write a Chrome\n"
+      "                           trace-event file (chrome://tracing)\n"
+      "  --trace-capacity=N       per-node trace ring capacity (default "
+      "4096)\n"
+      "  --stats-json=PATH        write the unified metrics snapshot\n"
       "  --verbose                dump per-subsystem statistics\n");
 }
 
@@ -128,6 +137,15 @@ bool ParseFlag(Flags& f, const std::string& arg) {
   } else if (key == "--seed") {
     cfg.workload.seed = std::stoull(val);
     cfg.seed = cfg.workload.seed ^ 0xBEEF;
+  } else if (key == "--trace-out") {
+    if (val.empty()) return false;
+    f.trace_out = val;
+    cfg.db.trace.enabled = true;
+  } else if (key == "--trace-capacity") {
+    cfg.db.trace.capacity_per_node = static_cast<uint32_t>(std::stoul(val));
+  } else if (key == "--stats-json") {
+    if (val.empty()) return false;
+    f.stats_json = val;
   } else if (key == "--verbose") {
     f.verbose = true;
   } else {
@@ -136,13 +154,41 @@ bool ParseFlag(Flags& f, const std::string& arg) {
   return true;
 }
 
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content << "\n";
+  return true;
+}
+
 int Run(const Flags& flags) {
   Harness h(flags.cfg);
   auto report = h.Run();
+  // The trace is written even for a failed run — the event history leading
+  // into the failure is exactly what it is for.
+  if (!flags.trace_out.empty()) {
+    if (!WriteFile(flags.trace_out, h.db().tracer().ToChromeTrace())) {
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %s (%llu events, %llu dropped)\n",
+                 flags.trace_out.c_str(),
+                 static_cast<unsigned long long>(
+                     h.db().tracer().total_recorded()),
+                 static_cast<unsigned long long>(
+                     h.db().tracer().total_dropped()));
+  }
   if (!report.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  report.status().ToString().c_str());
     return 1;
+  }
+  if (!flags.stats_json.empty()) {
+    MetricsRegistry reg = MetricsRegistry::FromReport(*report);
+    reg.AddTrace(h.db().tracer());
+    if (!WriteFile(flags.stats_json, reg.ToJson().Dump(1))) return 1;
   }
   const HarnessReport& r = *report;
   std::printf("protocol            %s\n",

@@ -1,0 +1,102 @@
+// smdb_trace_check — validates a Chrome trace-event file produced by
+// `smdb_run --trace-out=...` (or the fuzzer's forensic re-run).
+//
+// Checks that the file parses as JSON, has a non-empty "traceEvents" array,
+// and that every event carries the fields chrome://tracing needs (name, ph,
+// pid, tid; ts for everything but metadata). Prints a one-line summary and
+// exits 0 on success, 1 on any structural problem — small enough to run as
+// a CI smoke step.
+//
+// Usage: smdb_trace_check TRACE.json
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+
+namespace smdb {
+namespace {
+
+int Check(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = json::Value::Parse(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: JSON parse failed: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  const json::Value& doc = *parsed;
+  if (!doc.is_object()) {
+    std::fprintf(stderr, "%s: top level is not an object\n", path.c_str());
+    return 1;
+  }
+  const json::Value* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "%s: missing traceEvents array\n", path.c_str());
+    return 1;
+  }
+  if (events->array().empty()) {
+    std::fprintf(stderr, "%s: traceEvents is empty\n", path.c_str());
+    return 1;
+  }
+  size_t spans = 0;
+  size_t instants = 0;
+  size_t metadata = 0;
+  for (size_t i = 0; i < events->array().size(); ++i) {
+    const json::Value& ev = events->array()[i];
+    if (!ev.is_object()) {
+      std::fprintf(stderr, "%s: event %zu is not an object\n", path.c_str(),
+                   i);
+      return 1;
+    }
+    const std::string ph = ev.GetString("ph");
+    if (ev.Find("name") == nullptr || ph.empty() ||
+        ev.Find("pid") == nullptr || ev.Find("tid") == nullptr) {
+      std::fprintf(stderr,
+                   "%s: event %zu lacks a required field "
+                   "(name/ph/pid/tid)\n",
+                   path.c_str(), i);
+      return 1;
+    }
+    if (ph != "M" && ev.Find("ts") == nullptr) {
+      std::fprintf(stderr, "%s: event %zu (ph=%s) has no ts\n", path.c_str(),
+                   i, ph.c_str());
+      return 1;
+    }
+    if (ph == "X") {
+      ++spans;
+      if (ev.Find("dur") == nullptr) {
+        std::fprintf(stderr, "%s: span event %zu has no dur\n", path.c_str(),
+                     i);
+        return 1;
+      }
+    } else if (ph == "i") {
+      ++instants;
+    } else if (ph == "M") {
+      ++metadata;
+    }
+  }
+  std::printf("%s: ok — %zu events (%zu spans, %zu instants, %zu metadata)\n",
+              path.c_str(), events->array().size(), spans, instants,
+              metadata);
+  return 0;
+}
+
+}  // namespace
+}  // namespace smdb
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: smdb_trace_check TRACE.json\n");
+    return 1;
+  }
+  return smdb::Check(argv[1]);
+}
