@@ -83,11 +83,11 @@ json::Value PointJson(const Point& p) {
   pt.Set("forces_per_committed_txn", json::Value::Double(ForcesPerCommit(p)));
   pt.Set("commit_waits", json::Value::Uint(p.commit_waits));
   pt.Set("tps", json::Value::Double(p.tps));
-  pt.Set("max_force_batch", json::Value::Uint(p.logs.max_force_batch));
+  pt.Set("max_force_batch", json::Value::Uint(p.logs.max_force_batch()));
   json::Value hist = json::Value::Object();
   for (size_t b = 0; b < LogStats::kBatchBuckets; ++b) {
     hist.Set(LogStats::BatchBucketLabel(b),
-             json::Value::Uint(p.logs.force_batch_hist[b]));
+             json::Value::Uint(p.logs.force_batch_bucket(b)));
   }
   pt.Set("force_batch_hist", std::move(hist));
   return pt;
@@ -120,7 +120,7 @@ void Run() {
     Row({Fmt(shared, 1), std::to_string(off.logs.forces),
          std::to_string(on.logs.forces), Fmt(ForcesPerCommit(off), 2),
          Fmt(ForcesPerCommit(on), 2), Fmt(factor, 1) + "x",
-         std::to_string(on.logs.max_force_batch)},
+         std::to_string(on.logs.max_force_batch())},
         16);
     json::Value entry = json::Value::Object();
     entry.Set("shared_fraction", json::Value::Double(shared));

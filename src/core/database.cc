@@ -10,8 +10,11 @@ Database::Database(DatabaseConfig config) : config_(config) {
   tracer_ = std::make_unique<TraceRecorder>(config_.machine.num_nodes,
                                             config_.trace.capacity_per_node);
   tracer_->set_enabled(config_.trace.enabled);
+  observatory_ =
+      std::make_unique<Observatory>(config_.machine.num_nodes, config_.obs);
   machine_ = std::make_unique<Machine>(config_.machine);
   machine_->set_tracer(tracer_.get());
+  machine_->set_observatory(observatory_.get());
   db_disk_ = std::make_unique<Disk>(machine_.get(), config_.page_size);
   stable_db_ = std::make_unique<StableDb>(db_disk_.get());
   stable_log_ = std::make_unique<StableLogStore>(config_.machine.num_nodes);
@@ -22,6 +25,7 @@ Database::Database(DatabaseConfig config) : config_(config) {
         machine_.get(), log_.get(), config_.recovery.group_commit_window_ns,
         config_.recovery.group_commit_max_batch);
     group_commit_->set_tracer(tracer_.get());
+    group_commit_->set_observatory(observatory_.get());
   }
   wal_table_ = std::make_unique<WalTable>(config_.machine.num_nodes);
   buffers_ = std::make_unique<BufferManager>(machine_.get(), stable_db_.get(),
@@ -35,6 +39,7 @@ Database::Database(DatabaseConfig config) : config_(config) {
   lt.log_lock_ops = config_.recovery.log_lock_ops;
   locks_ = std::make_unique<LockTable>(machine_.get(), log_.get(), lt);
   locks_->set_tracer(tracer_.get());
+  locks_->set_observatory(observatory_.get());
   lbm_ = LbmPolicy::Create(config_.recovery.lbm, machine_.get(), log_.get(),
                            group_commit_.get());
   if (config_.recovery.restart == RestartKind::kAbortDependents) {
@@ -49,6 +54,7 @@ Database::Database(DatabaseConfig config) : config_(config) {
       config_.recovery);
   txn_->SetGroupCommit(group_commit_.get());
   txn_->set_tracer(tracer_.get());
+  txn_->set_observatory(observatory_.get());
   recovery_ = std::make_unique<RecoveryManager>(this);
 
   // A node crash destroys the node's volatile log tail and resets its
@@ -98,11 +104,20 @@ Status Database::Checkpoint(NodeId coordinator) {
 
 Result<RecoveryOutcome> Database::Crash(const std::vector<NodeId>& crashed) {
   for (NodeId n : crashed) machine_->CrashNode(n);
+  // The availability clock for this crash starts before pending-commit
+  // resolution: commits resolved at crash time are acknowledgements during
+  // the outage window.
+  SMDB_OBS(observatory_.get(),
+           OnRecoveryStart(crashed, machine_->GlobalTime()));
   // Pending group commits whose records turn out durable are committed —
   // resolve them before recovery classifies transactions, so restart never
   // undoes a durably-committed transaction nor acknowledges an annulled one.
   SMDB_RETURN_IF_ERROR(txn_->ResolvePendingCommits());
-  return recovery_->Run(crashed);
+  Result<RecoveryOutcome> out = recovery_->Run(crashed);
+  if (out.ok()) {
+    SMDB_OBS(observatory_.get(), OnRecoveryEnd(machine_->GlobalTime()));
+  }
+  return out;
 }
 
 void Database::RestartNodes(const std::vector<NodeId>& nodes) {

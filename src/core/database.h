@@ -15,6 +15,7 @@
 #include "db/record_store.h"
 #include "db/wal_table.h"
 #include "lockmgr/lock_table.h"
+#include "obs/observatory.h"
 #include "obs/trace.h"
 #include "sim/machine.h"
 #include "storage/disk.h"
@@ -40,6 +41,8 @@ struct DatabaseConfig {
   RecoveryConfig recovery;
   /// Event tracing (off by default; zero overhead when disabled).
   TraceConfig trace;
+  /// Latency observatory (off by default; same zero-cost discipline).
+  ObsConfig obs;
 };
 
 /// The assembled shared-memory database system: the simulated multiprocessor
@@ -101,6 +104,11 @@ class Database {
   TraceRecorder& tracer() { return *tracer_; }
   /// Tracer as a pointer, for SMDB_TRACE call sites.
   TraceRecorder* tracer_ptr() { return tracer_.get(); }
+  /// The latency observatory. Always constructed; recording is gated by
+  /// DatabaseConfig::obs.enabled (and set_enabled at runtime).
+  Observatory& observatory() { return *observatory_; }
+  /// Observatory as a pointer, for SMDB_OBS call sites.
+  Observatory* observatory_ptr() { return observatory_.get(); }
   const DatabaseConfig& config() const { return config_; }
 
   /// Worker streams for subsequent restart recoveries (1 = serial). The
@@ -114,6 +122,7 @@ class Database {
   DatabaseConfig config_;
   UsnSource usn_;
   std::unique_ptr<TraceRecorder> tracer_;
+  std::unique_ptr<Observatory> observatory_;
   std::unique_ptr<Machine> machine_;
   std::unique_ptr<Disk> db_disk_;
   std::unique_ptr<StableDb> stable_db_;

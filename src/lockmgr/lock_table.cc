@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/observatory.h"
 #include "obs/trace.h"
 #include "sim/machine.h"
 
@@ -202,6 +203,7 @@ Result<LockResult> LockTable::Acquire(NodeId node, TxnId txn, uint64_t name,
     Status s = WriteLcb(node, slot, lcb);
     release_lines();
     if (!s.ok()) return s;
+    SMDB_OBS(obs_, OnLockQueued(txn, name, machine_->NodeClock(node)));
   } else {
     release_lines();
   }
@@ -230,6 +232,7 @@ Result<LockResult> LockTable::PollGrant(NodeId node, TxnId txn, uint64_t name,
                        .a = name,
                        .b = static_cast<uint64_t>(mode),
                        .label = "poll"});
+  SMDB_OBS(obs_, OnLockGranted(txn, name, machine_->NodeClock(node)));
   return LockResult::kGranted;
 }
 

@@ -14,6 +14,7 @@ namespace smdb {
 
 class Machine;
 class TraceRecorder;
+class Observatory;
 
 /// Canonical lock names. Records and index keys share one name space.
 constexpr uint64_t RecordLockName(RecordId rid) {
@@ -125,6 +126,9 @@ class LockTable {
 
   /// Optional event tracer (owned by Database); null = no tracing.
   void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+  /// Optional latency observatory (owned by Database); null = none. The
+  /// lock table feeds it queued->granted wait spans.
+  void set_observatory(Observatory* obs) { obs_ = obs; }
 
  private:
   /// Finds the slot holding `name`, or the first empty slot when
@@ -149,6 +153,7 @@ class LockTable {
   Machine* machine_;
   LogManager* log_;
   TraceRecorder* tracer_ = nullptr;
+  Observatory* obs_ = nullptr;
   LockTableConfig config_;
   LcbCodec codec_;
   Addr base_ = 0;

@@ -1,0 +1,151 @@
+#include "obs/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace smdb {
+
+size_t Histogram::CountsIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  // bucket = number of doublings beyond the exact range; the value's top
+  // set bit is at position >= kSubBucketBits here.
+  const uint32_t msb = 63 - static_cast<uint32_t>(std::countl_zero(value));
+  const uint32_t bucket = msb - (kSubBucketBits - 1);  // >= 1
+  const uint64_t sub = value >> bucket;  // in [kSubBucketHalf, kSubBuckets)
+  return kSubBuckets + size_t{bucket - 1} * kSubBucketHalf +
+         static_cast<size_t>(sub - kSubBucketHalf);
+}
+
+uint64_t Histogram::LowestEquivalent(size_t index) {
+  if (index < kSubBuckets) return index;
+  const size_t rel = index - kSubBuckets;
+  const uint32_t bucket = static_cast<uint32_t>(rel / kSubBucketHalf) + 1;
+  const uint64_t sub = kSubBucketHalf + rel % kSubBucketHalf;
+  return sub << bucket;
+}
+
+uint64_t Histogram::HighestEquivalent(size_t index) {
+  if (index < kSubBuckets) return index;
+  const size_t rel = index - kSubBuckets;
+  const uint32_t bucket = static_cast<uint32_t>(rel / kSubBucketHalf) + 1;
+  const uint64_t sub = kSubBucketHalf + rel % kSubBucketHalf;
+  return ((sub + 1) << bucket) - 1;
+}
+
+void Histogram::RecordN(uint64_t value, uint64_t count) {
+  if (count == 0) return;
+  if (counts_.empty()) counts_.assign(kNumCounts, 0);
+  counts_[CountsIndex(value)] += count;
+  count_ += count;
+  sum_ += value * count;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (counts_.empty()) counts_.assign(kNumCounts, 0);
+  for (size_t i = 0; i < kNumCounts; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+uint64_t Histogram::ValueAtPercentile(double pct) const {
+  if (count_ == 0) return 0;
+  if (pct < 0.0) pct = 0.0;
+  if (pct > 100.0) pct = 100.0;
+  uint64_t target =
+      static_cast<uint64_t>(std::ceil(pct / 100.0 * double(count_)));
+  if (target == 0) target = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target) {
+      // Never report past the tracked exact maximum (the last bucket's
+      // highest-equivalent can exceed it).
+      const uint64_t rep = HighestEquivalent(i);
+      return rep > max_ ? max_ : rep;
+    }
+  }
+  return max_;
+}
+
+uint64_t Histogram::CountInRange(uint64_t lo, uint64_t hi) const {
+  if (count_ == 0 || hi < lo) return 0;
+  uint64_t total = 0;
+  for (size_t i = CountsIndex(lo); i < counts_.size(); ++i) {
+    if (LowestEquivalent(i) > hi) break;
+    if (counts_[i] == 0) continue;
+    if (LowestEquivalent(i) >= lo && HighestEquivalent(i) <= hi) {
+      total += counts_[i];
+    }
+  }
+  return total;
+}
+
+void Histogram::ForEachNonZero(
+    const std::function<void(uint64_t, uint64_t, uint64_t)>& fn) const {
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) {
+      fn(LowestEquivalent(i), HighestEquivalent(i), counts_[i]);
+    }
+  }
+}
+
+json::Value Histogram::SummaryJson() const {
+  json::Value obj = json::Value::Object();
+  obj.Set("count", json::Value::Uint(count_));
+  obj.Set("min", json::Value::Uint(min()));
+  obj.Set("max", json::Value::Uint(max_));
+  obj.Set("sum", json::Value::Uint(sum_));
+  obj.Set("mean", json::Value::Double(Mean()));
+  obj.Set("p50", json::Value::Uint(P50()));
+  obj.Set("p90", json::Value::Uint(P90()));
+  obj.Set("p99", json::Value::Uint(P99()));
+  obj.Set("p999", json::Value::Uint(P999()));
+  return obj;
+}
+
+json::Value Histogram::ToJson() const {
+  json::Value obj = SummaryJson();
+  json::Value lo = json::Value::Array();
+  json::Value hi = json::Value::Array();
+  json::Value cnt = json::Value::Array();
+  ForEachNonZero([&](uint64_t l, uint64_t h, uint64_t c) {
+    lo.Append(json::Value::Uint(l));
+    hi.Append(json::Value::Uint(h));
+    cnt.Append(json::Value::Uint(c));
+  });
+  obj.Set("bucket_lo", std::move(lo));
+  obj.Set("bucket_hi", std::move(hi));
+  obj.Set("bucket_count", std::move(cnt));
+  return obj;
+}
+
+namespace {
+std::string FmtWithUnit(double v, const char* unit, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%s", prec, v, unit);
+  return buf;
+}
+}  // namespace
+
+std::string FormatSimTime(uint64_t ns) {
+  if (ns < 1'000) return FmtWithUnit(double(ns), "ns", 0);
+  if (ns < 1'000'000) return FmtWithUnit(double(ns) / 1e3, "us", 2);
+  if (ns < 1'000'000'000) return FmtWithUnit(double(ns) / 1e6, "ms", 2);
+  return FmtWithUnit(double(ns) / 1e9, "s", 2);
+}
+
+std::string FormatSimTimeUs(uint64_t ns) {
+  return FmtWithUnit(double(ns) / 1e3, "us", 2);
+}
+
+std::string FormatSimTimeMs(uint64_t ns) {
+  return FmtWithUnit(double(ns) / 1e6, "ms", 2);
+}
+
+}  // namespace smdb

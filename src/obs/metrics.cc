@@ -41,6 +41,49 @@ MetricsRegistry MetricsRegistry::FromReport(const HarnessReport& report) {
   reg.AddDouble("run.throughput_tps", report.throughput_tps());
   reg.Add("run.unnecessary_aborts", report.unnecessary_aborts());
 
+  if (report.latency.enabled) {
+    auto add_hist = [&reg](const std::string& prefix, const Histogram& h) {
+      reg.Add(prefix + ".count", h.count());
+      reg.AddDouble(prefix + ".mean_ns", h.Mean());
+      reg.Add(prefix + ".p50_ns", h.P50());
+      reg.Add(prefix + ".p90_ns", h.P90());
+      reg.Add(prefix + ".p99_ns", h.P99());
+      reg.Add(prefix + ".p999_ns", h.P999());
+      reg.Add(prefix + ".max_ns", h.max());
+    };
+    add_hist("latency.commit", report.latency.commit_latency);
+    add_hist("latency.abort", report.latency.abort_latency);
+    add_hist("latency.lock_wait", report.latency.lock_wait);
+    add_hist("latency.gc_residency", report.latency.gc_residency);
+    add_hist("latency.commit_steady", report.latency.commit_steady);
+    add_hist("latency.commit_through_crash",
+             report.latency.commit_through_crash);
+
+    const auto& crashes = report.latency.availability.crashes;
+    reg.Add("availability.crashes", crashes.size());
+    for (size_t i = 0; i < crashes.size(); ++i) {
+      const CrashAvailability& c = crashes[i];
+      const std::string p = "availability." + std::to_string(i) + ".";
+      reg.Add(p + "crash_ts_ns", c.crash_ts);
+      reg.Add(p + "recovery_end_ts_ns", c.recovery_end_ts);
+      reg.Add(p + "ttfc_ns", c.ttfc_ns());
+      reg.AddDouble(p + "steady_tps", c.steady_tps);
+      reg.AddDouble(p + "trough_depth_pct", c.depth_pct);
+      reg.Add(p + "trough_duration_ns", c.trough_duration_ns);
+    }
+
+    const auto& contended = report.latency.top_contended;
+    reg.Add("locks.contention.count", contended.size());
+    for (size_t i = 0; i < contended.size(); ++i) {
+      const LockContentionEntry& e = contended[i];
+      const std::string p = "locks.contention." + std::to_string(i) + ".";
+      reg.Add(p + "name", e.name);
+      reg.Add(p + "waits", e.waits);
+      reg.Add(p + "total_wait_ns", e.total_wait_ns);
+      reg.Add(p + "max_wait_ns", e.max_wait_ns);
+    }
+  }
+
   reg.Add("recovery.count", report.recoveries.size());
   for (size_t i = 0; i < report.recoveries.size(); ++i) {
     const RecoveryOutcome& r = report.recoveries[i];

@@ -1,0 +1,122 @@
+#include "obs/timeseries.h"
+
+namespace smdb {
+
+const char* NodeServiceStateName(NodeServiceState state) {
+  switch (state) {
+    case NodeServiceState::kServing:
+      return "serving";
+    case NodeServiceState::kDown:
+      return "down";
+    case NodeServiceState::kRecovering:
+      return "recovering";
+  }
+  return "?";
+}
+
+json::Value TimeSeries::ToJson() const {
+  json::Value obj = json::Value::Object();
+  obj.Set("window_ns", json::Value::Uint(window_ns_));
+  json::Value start = json::Value::Array();
+  json::Value begins = json::Value::Array();
+  json::Value commits = json::Value::Array();
+  json::Value aborts = json::Value::Array();
+  json::Value inflight = json::Value::Array();
+  json::Value gc_depth = json::Value::Array();
+  json::Value tps = json::Value::Array();
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    const Window& w = windows_[i];
+    start.Append(json::Value::Uint(WindowStart(i)));
+    begins.Append(json::Value::Uint(w.begins));
+    commits.Append(json::Value::Uint(w.commits));
+    aborts.Append(json::Value::Uint(w.aborts));
+    inflight.Append(json::Value::Uint(w.max_inflight));
+    gc_depth.Append(json::Value::Uint(w.max_gc_depth));
+    tps.Append(json::Value::Double(Tps(i)));
+  }
+  obj.Set("window_start_ns", std::move(start));
+  obj.Set("begins", std::move(begins));
+  obj.Set("commits", std::move(commits));
+  obj.Set("aborts", std::move(aborts));
+  obj.Set("max_inflight", std::move(inflight));
+  obj.Set("max_gc_depth", std::move(gc_depth));
+  obj.Set("tps", std::move(tps));
+  return obj;
+}
+
+json::Value CrashAvailability::ToJson() const {
+  json::Value obj = json::Value::Object();
+  obj.Set("crash_ts_ns", json::Value::Uint(crash_ts));
+  json::Value crashed = json::Value::Array();
+  for (NodeId n : nodes) crashed.Append(json::Value::Uint(n));
+  obj.Set("nodes", std::move(crashed));
+  obj.Set("recovery_end_ts_ns", json::Value::Uint(recovery_end_ts));
+  obj.Set("saw_commit_after", json::Value::Bool(saw_commit_after));
+  obj.Set("ttfc_ns", json::Value::Uint(ttfc_ns()));
+  json::Value per_node = json::Value::Array();
+  for (const NodeTtfc& t : node_ttfc) {
+    json::Value e = json::Value::Object();
+    e.Set("node", json::Value::Uint(t.node));
+    e.Set("restart_ts_ns", json::Value::Uint(t.restart_ts));
+    e.Set("committed", json::Value::Bool(t.committed));
+    e.Set("ttfc_ns", json::Value::Uint(t.ttfc_ns()));
+    per_node.Append(std::move(e));
+  }
+  obj.Set("node_ttfc", std::move(per_node));
+  obj.Set("steady_tps", json::Value::Double(steady_tps));
+  obj.Set("trough_tps", json::Value::Double(trough_tps));
+  obj.Set("trough_windows", json::Value::Uint(trough_windows));
+  obj.Set("trough_duration_ns", json::Value::Uint(trough_duration_ns));
+  obj.Set("trough_depth_pct", json::Value::Double(depth_pct));
+  return obj;
+}
+
+json::Value AvailabilityReport::ToJson() const {
+  json::Value arr = json::Value::Array();
+  for (const CrashAvailability& c : crashes) arr.Append(c.ToJson());
+  json::Value obj = json::Value::Object();
+  obj.Set("crashes", std::move(arr));
+  return obj;
+}
+
+void ComputeThroughputTrough(const TimeSeries& series, CrashAvailability* ca) {
+  const std::vector<TimeSeries::Window>& w = series.windows();
+  if (w.empty()) return;
+  const size_t crash_w = series.WindowIndex(ca->crash_ts);
+
+  // Steady-state rate: mean commits/window strictly before the crash
+  // window; whole-series mean when the crash hits at/before the first
+  // window boundary.
+  uint64_t pre_commits = 0;
+  size_t pre_windows = 0;
+  for (size_t i = 0; i < w.size() && i < crash_w; ++i) {
+    pre_commits += w[i].commits;
+    ++pre_windows;
+  }
+  if (pre_windows == 0) {
+    for (const TimeSeries::Window& win : w) pre_commits += win.commits;
+    pre_windows = w.size();
+  }
+  const double steady_cpw = double(pre_commits) / double(pre_windows);
+  ca->steady_tps = steady_cpw * 1e9 / double(series.window_ns());
+  if (steady_cpw <= 0.0) return;  // nothing committed before the crash
+
+  // The trough: consecutive windows from the crash whose commit rate stays
+  // below half of steady. Track the minimum rate inside it.
+  const double half = steady_cpw / 2.0;
+  uint64_t min_commits = ~0ULL;
+  size_t runs = 0;
+  for (size_t i = crash_w; i < w.size(); ++i) {
+    if (double(w[i].commits) >= half) break;
+    if (w[i].commits < min_commits) min_commits = w[i].commits;
+    ++runs;
+  }
+  ca->trough_windows = runs;
+  ca->trough_duration_ns = runs * series.window_ns();
+  if (runs > 0) {
+    ca->trough_tps = double(min_commits) * 1e9 / double(series.window_ns());
+    ca->depth_pct = (1.0 - double(min_commits) / steady_cpw) * 100.0;
+  }
+}
+
+}  // namespace smdb

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/observatory.h"
 #include "obs/trace.h"
 
 namespace smdb {
@@ -441,6 +442,7 @@ void Machine::CrashNode(NodeId node) {
   SMDB_TRACE(tracer_, {.kind = TraceEventKind::kCrash,
                        .node = node,
                        .ts = clocks_[node]});
+  SMDB_OBS(obs_, OnNodeDown(node, clocks_[node]));
   CrashEvent ev{node};
   for (const auto& hook : crash_hooks_) hook(ev);
 }
@@ -451,14 +453,19 @@ void Machine::RestartNode(NodeId node) {
   alive_[node] = true;
   caches_[node].Clear();
   clocks_[node] = GlobalTime();
+  SMDB_OBS(obs_, OnNodeUp(node, clocks_[node]));
 }
 
 void Machine::RebootAll() {
   SimTime t = GlobalTime();
   for (uint16_t n = 0; n < config_.num_nodes; ++n) {
+    if (alive_[n]) SMDB_OBS(obs_, OnNodeDown(n, t));
+  }
+  for (uint16_t n = 0; n < config_.num_nodes; ++n) {
     caches_[n].Clear();
     alive_[n] = true;
     clocks_[n] = t;
+    SMDB_OBS(obs_, OnNodeUp(n, t));
   }
   directory_.ForEach([&](LineAddr line, DirEntry& e) {
     (void)line;

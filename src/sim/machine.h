@@ -18,6 +18,7 @@
 namespace smdb {
 
 class TraceRecorder;
+class Observatory;
 
 /// Deterministic functional + timing simulator of a cache-coherent shared
 /// memory multiprocessor with independent node failures — the substrate the
@@ -185,6 +186,10 @@ class Machine {
   /// machine emits coherence-action and crash events through it.
   void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
 
+  /// Optional latency observatory (owned by Database); null = none. The
+  /// machine emits node down/up transitions through it.
+  void set_observatory(Observatory* obs) { obs_ = obs; }
+
  private:
   /// Makes `line` valid in `node`'s cache for reading; performs coherence
   /// transitions and charges costs. On success *data points at the node's
@@ -219,6 +224,7 @@ class Machine {
   LineLockTable line_locks_;
   MachineStats stats_;
   TraceRecorder* tracer_ = nullptr;
+  Observatory* obs_ = nullptr;
 
   Addr next_addr_ = 0;
   std::unordered_map<LineAddr, NodeId> home_override_;

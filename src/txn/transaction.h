@@ -49,6 +49,9 @@ struct Transaction {
   Lsn first_lsn = kInvalidLsn;
   /// Monotonic begin stamp; smaller = older (deadlock victim selection).
   uint64_t begin_seq = 0;
+  /// Node-clock sim-time at Begin (latency observatory's commit/abort
+  /// latency baseline).
+  SimTime begin_ts = 0;
 
   /// Lock names this transaction holds (granted). Strict 2PL: released only
   /// at commit/abort.

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "db/page_layout.h"
+#include "obs/observatory.h"
 #include "obs/trace.h"
 #include "sim/machine.h"
 #include "wal/group_commit.h"
@@ -33,6 +34,7 @@ Transaction* TxnManager::Begin(NodeId node) {
   auto txn = std::make_unique<Transaction>();
   txn->id = id;
   txn->begin_seq = ++begin_counter_;
+  txn->begin_ts = machine_->NodeClock(node);
   Transaction* ptr = txn.get();
   txns_[id] = std::move(txn);
   LogRecord rec;
@@ -47,6 +49,7 @@ Transaction* TxnManager::Begin(NodeId node) {
                        .txn = id,
                        .ts = machine_->NodeClock(node),
                        .a = ptr->first_lsn});
+  SMDB_OBS(obs_, OnTxnBegin(node, id, ptr->begin_ts));
   for (auto* obs : observers_) obs->OnBegin(id);
   return ptr;
 }
@@ -391,10 +394,14 @@ Status TxnManager::FinishCommit(Transaction* txn) {
   txn->state = TxnState::kCommitted;
   if (deps_ != nullptr) deps_->OnTxnEnd(txn->id);
   ++stats_.commits;
+  const SimTime ack_ts = machine_->NodeClock(node);
   SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnCommit,
                        .node = node,
                        .txn = txn->id,
-                       .ts = machine_->NodeClock(node)});
+                       .ts = ack_ts});
+  SMDB_OBS(obs_, OnCommit(node, txn->id, ack_ts,
+                          ack_ts >= txn->begin_ts ? ack_ts - txn->begin_ts
+                                                  : 0));
   NotifyCommit(txn->id);
   return Status::Ok();
 }
@@ -423,11 +430,15 @@ Status TxnManager::ResolvePendingCommits() {
     txn->state = TxnState::kCommitted;
     if (deps_ != nullptr) deps_->OnTxnEnd(txn->id);
     ++stats_.commits;
+    const SimTime ack_ts = machine_->NodeClock(node);
     SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnCommit,
                          .node = node,
                          .txn = txn->id,
-                         .ts = machine_->NodeClock(node),
+                         .ts = ack_ts,
                          .label = "resolved"});
+    SMDB_OBS(obs_, OnCommit(node, txn->id, ack_ts,
+                            ack_ts >= txn->begin_ts ? ack_ts - txn->begin_ts
+                                                    : 0));
     NotifyCommit(txn->id);
     resolved_commit_ids_.insert(txn->id);
   }
@@ -584,10 +595,14 @@ Status TxnManager::Abort(Transaction* txn) {
   txn->state = TxnState::kAborted;
   if (deps_ != nullptr) deps_->OnTxnEnd(txn->id);
   ++stats_.aborts;
+  const SimTime end_ts = machine_->NodeClock(node);
   SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnAbort,
                        .node = txn->node(),
                        .txn = txn->id,
-                       .ts = machine_->NodeClock(txn->node())});
+                       .ts = end_ts});
+  SMDB_OBS(obs_, OnAbort(node, txn->id, end_ts,
+                         end_ts >= txn->begin_ts ? end_ts - txn->begin_ts
+                                                 : 0));
   NotifyAbort(txn->id);
   return Status::Ok();
 }
@@ -650,11 +665,15 @@ void TxnManager::MarkCrashAnnulled(Transaction* txn) {
   txn->queued_locks.clear();
   waiting_for_.erase(txn->id);
   if (deps_ != nullptr) deps_->OnTxnEnd(txn->id);
+  const SimTime end_ts = machine_->NodeClock(txn->node());
   SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnAbort,
                        .node = txn->node(),
                        .txn = txn->id,
-                       .ts = machine_->NodeClock(txn->node()),
+                       .ts = end_ts,
                        .label = "annulled"});
+  SMDB_OBS(obs_, OnAbort(txn->node(), txn->id, end_ts,
+                         end_ts >= txn->begin_ts ? end_ts - txn->begin_ts
+                                                 : 0));
   NotifyAbort(txn->id);
 }
 

@@ -25,6 +25,7 @@ namespace smdb {
 class Machine;
 class GroupCommitPipeline;
 class TraceRecorder;
+class Observatory;
 
 struct TxnManagerStats {
   uint64_t begins = 0;
@@ -200,6 +201,8 @@ class TxnManager {
 
   /// Optional event tracer (owned by Database); null = no tracing.
   void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+  /// Optional latency observatory (owned by Database); null = none.
+  void set_observatory(Observatory* obs) { obs_ = obs; }
   LbmPolicy* lbm() { return lbm_; }
   UsnSource* usn() { return usn_; }
   RecordStore* records() { return records_; }
@@ -244,6 +247,7 @@ class TxnManager {
   DependencyTracker* deps_;  // may be null
   GroupCommitPipeline* gc_ = nullptr;  // may be null (group commit off)
   TraceRecorder* tracer_ = nullptr;    // may be null (tracing off)
+  Observatory* obs_ = nullptr;         // may be null (observatory off)
   RecoveryConfig config_;
   std::set<TxnId> resolved_commit_ids_;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observatory.h"
 #include "obs/trace.h"
 #include "sim/machine.h"
 #include "wal/log_manager.h"
@@ -55,6 +56,7 @@ Status GroupCommitPipeline::EnqueueCommit(NodeId node, TxnId txn, Lsn lsn) {
   SimTime now = machine_->NodeClock(node);
   ns.commits.push_back(PendingCommit{txn, lsn, now});
   ++stats_.enqueued_commits;
+  SMDB_OBS(obs_, OnGcEnqueued(node, ns.commits.size(), now));
   SMDB_TRACE(tracer_, {.kind = TraceEventKind::kForceIntent,
                        .node = node,
                        .txn = txn,
@@ -139,6 +141,16 @@ void GroupCommitPipeline::OnForced(NodeId node) {
   // longer applies to anything.
   ns.has_intent = false;
   ns.deadline_armed = false;
+  if (obs_ != nullptr && obs_->enabled()) {
+    const SimTime now = machine_->NodeClock(node);
+    for (PendingCommit& pc : ns.commits) {
+      if (pc.residency_recorded) continue;
+      pc.residency_recorded = true;
+      obs_->OnGcResidency(node, now >= pc.enqueued_at ? now - pc.enqueued_at
+                                                      : 0,
+                          now);
+    }
+  }
 }
 
 }  // namespace smdb

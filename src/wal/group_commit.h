@@ -12,6 +12,7 @@ namespace smdb {
 class Machine;
 class LogManager;
 class TraceRecorder;
+class Observatory;
 
 /// Per-node flush-coalescing layer in front of LogManager::Force.
 ///
@@ -44,6 +45,9 @@ class GroupCommitPipeline {
     Lsn lsn = kInvalidLsn;
     /// Node clock when the commit was enqueued (diagnostics).
     SimTime enqueued_at = 0;
+    /// Queue residency already reported to the observatory (a force moves
+    /// the whole tail, so later forces see the entry again).
+    bool residency_recorded = false;
   };
 
   struct Stats {
@@ -105,6 +109,9 @@ class GroupCommitPipeline {
 
   /// Optional event tracer (owned by Database); null = no tracing.
   void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+  /// Optional latency observatory (owned by Database); null = none. The
+  /// pipeline feeds it queue depths and enqueue->force residencies.
+  void set_observatory(Observatory* obs) { obs_ = obs; }
 
  private:
   struct NodeState {
@@ -127,6 +134,7 @@ class GroupCommitPipeline {
   Machine* machine_;
   LogManager* log_;
   TraceRecorder* tracer_ = nullptr;
+  Observatory* obs_ = nullptr;
   SimTime window_ns_;
   uint32_t max_batch_;
   std::vector<NodeState> nodes_;

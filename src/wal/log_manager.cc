@@ -52,10 +52,7 @@ Status LogManager::Force(NodeId requestor, NodeId node) {
     const size_t batch_size = tail.size();
     ++stats_.forces;
     stats_.forced_records += batch_size;
-    ++stats_.force_batch_hist[LogStats::BatchBucket(batch_size)];
-    if (batch_size > stats_.max_force_batch) {
-      stats_.max_force_batch = batch_size;
-    }
+    stats_.force_batches.Record(batch_size);
     const auto& timing = machine_->config().timing;
     machine_->Tick(requestor, machine_->config().nvram_log
                                   ? timing.nvram_force_ns

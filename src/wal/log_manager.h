@@ -1,15 +1,16 @@
 #ifndef SMDB_WAL_LOG_MANAGER_H_
 #define SMDB_WAL_LOG_MANAGER_H_
 
-#include <array>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/histogram.h"
 #include "storage/stable_log.h"
 #include "wal/log_record.h"
 
@@ -37,8 +38,11 @@ struct LogStats {
   /// Forces attributable to the Stable LBM policy (in excess of the commit
   /// forces every protocol performs). Incremented by the LBM policies.
   uint64_t lbm_forces = 0;
-  std::array<uint64_t, kBatchBuckets> force_batch_hist{};
-  uint64_t max_force_batch = 0;
+  /// Per-force batch sizes, on the shared obs histogram (one bucketing
+  /// implementation). The classic 1/2/3-4/.../65+ buckets are derived
+  /// views: every boundary is below Histogram::kSubBuckets, where buckets
+  /// are unit-width, so the derived counts are exact.
+  Histogram force_batches;
 
   /// Bucket index for a force of `n` records (n >= 1).
   static size_t BatchBucket(size_t n) {
@@ -54,6 +58,21 @@ struct LogStats {
                                                  "33-64", "65+"};
     return kLabels[bucket];
   }
+  /// Inclusive batch-size range of a classic bucket ({65, UINT64_MAX} for
+  /// the last).
+  static std::pair<uint64_t, uint64_t> BatchBucketRange(size_t bucket) {
+    if (bucket == 0) return {1, 1};
+    if (bucket + 1 >= kBatchBuckets) return {(1ULL << (kBatchBuckets - 2)) + 1,
+                                             ~0ULL};
+    return {(1ULL << (bucket - 1)) + 1, 1ULL << bucket};
+  }
+  /// Force count in the classic bucket `bucket` (the historical
+  /// force_batch_hist[] view).
+  uint64_t force_batch_bucket(size_t bucket) const {
+    auto [lo, hi] = BatchBucketRange(bucket);
+    return force_batches.CountInRange(lo, hi);
+  }
+  uint64_t max_force_batch() const { return force_batches.max(); }
 
   void Reset() { *this = LogStats(); }
 
@@ -75,9 +94,9 @@ void ForEachCounter(const LogStats& s, Fn&& fn) {
   fn("lbm_forces", s.lbm_forces);
   for (size_t b = 0; b < LogStats::kBatchBuckets; ++b) {
     fn(std::string("force_batch_") + LogStats::BatchBucketLabel(b),
-       s.force_batch_hist[b]);
+       s.force_batch_bucket(b));
   }
-  fn("max_force_batch", s.max_force_batch);
+  fn("max_force_batch", s.max_force_batch());
 }
 
 /// Per-node write-ahead logs with volatile in-cache tails.

@@ -163,6 +163,7 @@ void Harness::FillReport(HarnessReport* report) {
   report->disk_writes = db_->stable_db().writes();
   report->steps = exec_->steps();
   report->total_time_ns = db_->machine().GlobalTime();
+  report->latency = db_->observatory().Snapshot();
 }
 
 }  // namespace smdb

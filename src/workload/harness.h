@@ -67,6 +67,9 @@ struct HarnessReport {
   BTreeStats btree;
   /// Zero when the group-commit pipeline is off.
   GroupCommitPipeline::Stats gc;
+  /// Observatory snapshot; enabled=false (and otherwise empty) unless
+  /// DatabaseConfig::obs.enabled was set.
+  LatencyReport latency;
   uint64_t disk_reads = 0;
   uint64_t disk_writes = 0;
   uint64_t steps = 0;

@@ -87,7 +87,7 @@ TEST(GroupCommitTest, DeadlineFlushAcksWholeBatchWithOneForce) {
   EXPECT_EQ(fx.db.log().stats().forces, forces_before + 1);
   EXPECT_EQ(fx.db.group_commit()->stats().enqueued_commits, 2u);
   EXPECT_EQ(fx.db.group_commit()->stats().deadline_flushes, 1u);
-  EXPECT_GE(fx.db.log().stats().max_force_batch, 2u);
+  EXPECT_GE(fx.db.log().stats().max_force_batch(), 2u);
   EXPECT_EQ(fx.db.group_commit()->PendingCount(1), 0u);
   EXPECT_TRUE(fx.checker.VerifyAll().ok());
 }

@@ -19,6 +19,17 @@
 //   6. Forensics: a fuzz-caught IFA violation yields a non-empty forensic
 //      report (violation, trace tails, log chain, tag decisions) that
 //      rides inside the replay document and round-trips through ParseReplay.
+//   7. Histogram algebra: the fixed bucket layout makes Merge partition-
+//      and order-invariant, so per-shard recording at any width yields
+//      bit-identical percentiles.
+//   8. Time series + availability: window-edge events land in the next
+//      window, quiet stretches are explicit zero windows, and the derived
+//      TTFC / trough numbers match a hand-built crash schedule.
+//   9. Observatory neutrality: enabling the latency observatory changes no
+//      StateDigest (it makes zero machine operations), and its histograms
+//      are identical across recovery thread widths for a fixed seed.
+//  10. LogStats now stores force batches in a Histogram; the classic
+//      bucket counters derived from it match the old classification.
 
 #include <gtest/gtest.h>
 
@@ -29,7 +40,10 @@
 
 #include "fuzz/fuzzer.h"
 #include "obs/forensics.h"
+#include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/observatory.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "workload/harness.h"
 
@@ -395,6 +409,419 @@ TEST(Forensics, PerSeedCampaignAggregatesCoverEveryCounter) {
             static_cast<double>(runs->GetUint("min")));
   EXPECT_LE(runs->GetDouble("mean"),
             static_cast<double>(runs->GetUint("max")));
+}
+
+// ---- Latency observatory (histograms, time series, availability) -------
+
+HarnessConfig ObservedConfig(uint32_t recovery_threads, bool obs_on) {
+  HarnessConfig cfg = TracedConfig(recovery_threads);
+  cfg.db.trace.enabled = false;
+  cfg.db.obs.enabled = obs_on;
+  return cfg;
+}
+
+TEST(LatencyHistogram, MergeIsPartitionAndOrderInvariant) {
+  // Deterministic value stream spanning both the exact (<128) and the
+  // log-bucketed range.
+  std::vector<uint64_t> values;
+  uint64_t x = 0x9E3779B97F4A7C15ULL;
+  for (int i = 0; i < 20'000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    values.push_back(x % (i % 3 == 0 ? 100 : 10'000'000));
+  }
+  Histogram whole;
+  for (uint64_t v : values) whole.Record(v);
+
+  for (size_t width : {size_t{1}, size_t{4}, size_t{8}}) {
+    SCOPED_TRACE("width " + std::to_string(width));
+    // Round-robin partitioning, the shape per-thread recording produces.
+    std::vector<Histogram> shards(width);
+    for (size_t i = 0; i < values.size(); ++i) {
+      shards[i % width].Record(values[i]);
+    }
+    Histogram forward;
+    for (const Histogram& s : shards) forward.Merge(s);
+    Histogram reverse;
+    for (size_t i = shards.size(); i-- > 0;) reverse.Merge(shards[i]);
+
+    EXPECT_TRUE(forward == whole) << "merge order changed the counts";
+    EXPECT_TRUE(reverse == whole);
+    EXPECT_EQ(forward.count(), values.size());
+    EXPECT_EQ(forward.P50(), whole.P50());
+    EXPECT_EQ(forward.P90(), whole.P90());
+    EXPECT_EQ(forward.P99(), whole.P99());
+    EXPECT_EQ(forward.P999(), whole.P999());
+    EXPECT_EQ(forward.min(), whole.min());
+    EXPECT_EQ(forward.max(), whole.max());
+    EXPECT_EQ(forward.sum(), whole.sum());
+  }
+}
+
+TEST(LatencyHistogram, ExactBelowSubBucketsBoundedErrorAbove) {
+  Histogram h;
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    size_t idx = Histogram::CountsIndex(v);
+    EXPECT_EQ(Histogram::LowestEquivalent(idx), v) << "unit bucket expected";
+    EXPECT_EQ(Histogram::HighestEquivalent(idx), v);
+    h.Record(v);
+  }
+  EXPECT_EQ(h.CountInRange(0, Histogram::kSubBuckets - 1),
+            uint64_t{Histogram::kSubBuckets});
+  // Above the exact range the representative overshoots by at most 1/64.
+  for (uint64_t v : {1'000ULL, 123'456ULL, 7'000'000'000ULL}) {
+    size_t idx = Histogram::CountsIndex(v);
+    uint64_t lo = Histogram::LowestEquivalent(idx);
+    uint64_t hi = Histogram::HighestEquivalent(idx);
+    EXPECT_LE(lo, v);
+    EXPECT_GE(hi, v);
+    EXPECT_LE(double(hi - lo), double(lo) / 64.0 + 1.0);
+  }
+  // Percentiles report the max exactly (the representative is clamped).
+  h.Record(999);
+  EXPECT_EQ(h.ValueAtPercentile(100.0), 999u);
+  EXPECT_EQ(Histogram().P99(), 0u) << "empty histogram percentile";
+}
+
+TEST(TimeSeriesWindows, EdgeEventsAndEmptyWindowsAreExplicit) {
+  TimeSeries ts(/*window_ns=*/100);
+  ts.OnCommit(99);    // window 0
+  ts.OnCommit(100);   // exactly on the edge -> window 1, not 0
+  ts.OnCommit(950);   // window 9
+  ts.OnBegin(950);
+  ts.NoteInflight(950, 3);
+  ASSERT_EQ(ts.windows().size(), 10u) << "windows are dense from t=0";
+  EXPECT_EQ(ts.windows()[0].commits, 1u);
+  EXPECT_EQ(ts.windows()[1].commits, 1u);
+  for (size_t w = 2; w <= 8; ++w) {
+    EXPECT_EQ(ts.windows()[w].commits, 0u) << "window " << w
+                                           << " must be an explicit zero";
+  }
+  EXPECT_EQ(ts.windows()[9].commits, 1u);
+  EXPECT_EQ(ts.windows()[9].max_inflight, 3u);
+  EXPECT_EQ(ts.WindowIndex(200), 2u);
+  EXPECT_EQ(ts.WindowStart(9), 900u);
+  EXPECT_DOUBLE_EQ(ts.Tps(0), 1e9 / 100.0);
+  EXPECT_DOUBLE_EQ(ts.Tps(5), 0.0);
+}
+
+TEST(TimeSeriesWindows, TroughWithCrashExactlyOnAWindowEdge) {
+  TimeSeries s(/*window_ns=*/100);
+  // Steady state: 4 commits per window for windows 0..4.
+  for (SimTime w = 0; w < 5; ++w) {
+    for (SimTime off : {10, 30, 50, 70}) s.OnCommit(w * 100 + off);
+  }
+  // Post-crash: two stragglers during the outage, then a recovered burst.
+  s.OnCommit(760);
+  s.OnCommit(900);
+  for (SimTime t : {1500, 1520, 1540, 1560}) s.OnCommit(t);
+
+  CrashAvailability ca;
+  ca.crash_ts = 500;  // exactly on the window 4|5 boundary
+  ComputeThroughputTrough(s, &ca);
+  // Steady rate comes from windows strictly before the crash window: 4
+  // commits / 100ns window.
+  EXPECT_DOUBLE_EQ(ca.steady_tps, 4e7);
+  // Trough: windows 5..14 all stay below half of steady (the straggler
+  // windows hold 1 < 2); the burst window 15 ends it.
+  EXPECT_EQ(ca.trough_windows, 10u);
+  EXPECT_EQ(ca.trough_duration_ns, 1000u);
+  EXPECT_DOUBLE_EQ(ca.trough_tps, 0.0);
+  EXPECT_DOUBLE_EQ(ca.depth_pct, 100.0);
+
+  // Crash at t=0: no pre-crash windows, steady falls back to the
+  // whole-series mean and the busy first window means no trough at all.
+  CrashAvailability at_zero;
+  at_zero.crash_ts = 0;
+  ComputeThroughputTrough(s, &at_zero);
+  EXPECT_DOUBLE_EQ(at_zero.steady_tps, 26.0 / 16.0 * 1e7);
+  EXPECT_EQ(at_zero.trough_windows, 0u);
+}
+
+TEST(Availability, HandBuiltCrashScheduleYieldsKnownTtfc) {
+  ObsConfig oc;
+  oc.enabled = true;
+  oc.window_ns = 100;
+  oc.crash_influence_ns = 500;
+  Observatory obs(/*num_nodes=*/4, oc);
+
+  // Steady phase: 4 commits per window for windows 0..4, latency 40 each.
+  TxnId next = 1;
+  for (SimTime w = 0; w < 5; ++w) {
+    for (SimTime off : {10, 30, 50, 70}) {
+      TxnId t = next++;
+      obs.OnTxnBegin(0, t, w * 100 + off);
+      obs.OnCommit(0, t, w * 100 + off, /*latency=*/40);
+    }
+  }
+  // Node 1 crashes at t=500; recovery runs 500..700; the node restarts at
+  // 650 (mid-pass, as RestartNodes does).
+  obs.OnNodeDown(1, 500);
+  obs.OnRecoveryStart({1}, 500);
+  obs.OnNodeUp(1, 650);
+  obs.OnRecoveryEnd(700);
+  // First commit anywhere after the crash: node 2 at t=760.
+  obs.OnTxnBegin(2, next, 720);
+  obs.OnCommit(2, next++, 760, 40);
+  // First commit on the restarted node: t=900.
+  obs.OnTxnBegin(1, next, 800);
+  obs.OnCommit(1, next++, 900, 100);
+  // Recovered burst well past the crash shadow (ends 700 + 500 = 1200).
+  for (SimTime t : {1500, 1520, 1540, 1560}) {
+    obs.OnTxnBegin(0, next, t - 40);
+    obs.OnCommit(0, next++, t, 40);
+  }
+
+  LatencyReport rep = obs.Snapshot();
+  ASSERT_TRUE(rep.enabled);
+  ASSERT_EQ(rep.availability.crashes.size(), 1u);
+  const CrashAvailability& c = rep.availability.crashes[0];
+  EXPECT_EQ(c.crash_ts, 500u);
+  EXPECT_EQ(c.recovery_end_ts, 700u);
+  EXPECT_TRUE(c.saw_commit_after);
+  EXPECT_EQ(c.ttfc_ns(), 260u) << "first commit at 760, crash at 500";
+  ASSERT_EQ(c.node_ttfc.size(), 1u);
+  EXPECT_EQ(c.node_ttfc[0].node, 1u);
+  EXPECT_TRUE(c.node_ttfc[0].committed);
+  EXPECT_EQ(c.node_ttfc[0].ttfc_ns(), 250u) << "restart 650, commit 900";
+  EXPECT_EQ(c.trough_windows, 10u);
+  EXPECT_DOUBLE_EQ(c.depth_pct, 100.0);
+
+  // Latency split: the 2 commits inside the crash shadow vs 24 steady.
+  EXPECT_EQ(rep.commit_latency.count(), 26u);
+  EXPECT_EQ(rep.commit_through_crash.count(), 2u);
+  EXPECT_EQ(rep.commit_steady.count(), 24u);
+  EXPECT_EQ(rep.commit_steady.P50(), 40u);
+  EXPECT_EQ(rep.commit_through_crash.max(), 100u);
+
+  // Node-state timeline: down@500(n1), survivors recovering@500 (n0,2,3),
+  // restarted node recovering@650, everyone serving@700.
+  ASSERT_EQ(rep.node_states.size(), 9u);
+  EXPECT_EQ(rep.node_states[0].node, 1u);
+  EXPECT_EQ(rep.node_states[0].state, NodeServiceState::kDown);
+  EXPECT_EQ(rep.node_states[0].ts, 500u);
+  EXPECT_EQ(rep.node_states[4].node, 1u);
+  EXPECT_EQ(rep.node_states[4].state, NodeServiceState::kRecovering);
+  EXPECT_EQ(rep.node_states[4].ts, 650u);
+  for (size_t i = 5; i < 9; ++i) {
+    EXPECT_EQ(rep.node_states[i].state, NodeServiceState::kServing);
+    EXPECT_EQ(rep.node_states[i].ts, 700u);
+  }
+}
+
+TEST(Availability, RestartedNodeThatNeverCommitsIsReportedUncommitted) {
+  ObsConfig oc;
+  oc.enabled = true;
+  Observatory obs(/*num_nodes=*/2, oc);
+  obs.OnTxnBegin(0, 1, 10);
+  obs.OnCommit(0, 1, 50, 40);
+  obs.OnNodeDown(1, 100);
+  obs.OnRecoveryStart({1}, 100);
+  obs.OnNodeUp(1, 150);
+  obs.OnRecoveryEnd(200);
+  // No commits after the crash at all.
+  LatencyReport rep = obs.Snapshot();
+  ASSERT_EQ(rep.availability.crashes.size(), 1u);
+  const CrashAvailability& c = rep.availability.crashes[0];
+  EXPECT_FALSE(c.saw_commit_after);
+  EXPECT_EQ(c.ttfc_ns(), 0u);
+  ASSERT_EQ(c.node_ttfc.size(), 1u);
+  EXPECT_EQ(c.node_ttfc[0].node, 1u);
+  EXPECT_FALSE(c.node_ttfc[0].committed);
+  EXPECT_EQ(c.node_ttfc[0].ttfc_ns(), 0u);
+}
+
+TEST(Availability, LockContentionProfileRanksAndClearsPendingWaits) {
+  ObsConfig oc;
+  oc.enabled = true;
+  oc.top_contended = 2;
+  Observatory obs(/*num_nodes=*/1, oc);
+  obs.OnTxnBegin(0, 1, 0);
+  obs.OnTxnBegin(0, 2, 0);
+  // Lock 777: two waits totalling 180ns; lock 888: one wait of 130ns.
+  obs.OnLockQueued(1, 777, 10);
+  obs.OnLockGranted(1, 777, 60);  // wait 50
+  obs.OnLockQueued(2, 777, 70);
+  obs.OnLockGranted(2, 777, 200);  // wait 130
+  obs.OnLockQueued(1, 888, 70);
+  obs.OnLockGranted(1, 888, 200);  // wait 130
+  // A grant that was never queued is ignored.
+  obs.OnLockGranted(9, 123, 10);
+  // A wait still pending when the txn ends must not dangle: the later
+  // grant no longer matches anything.
+  obs.OnLockQueued(1, 999, 300);
+  obs.OnCommit(0, 1, 400, 400);
+  obs.OnLockGranted(1, 999, 900);
+
+  LatencyReport rep = obs.Snapshot();
+  EXPECT_EQ(rep.lock_wait.count(), 3u);
+  EXPECT_EQ(rep.lock_wait.max(), 130u);
+  ASSERT_EQ(rep.top_contended.size(), 2u);
+  EXPECT_EQ(rep.top_contended[0].name, 777u);
+  EXPECT_EQ(rep.top_contended[0].waits, 2u);
+  EXPECT_EQ(rep.top_contended[0].total_wait_ns, 180u);
+  EXPECT_EQ(rep.top_contended[0].max_wait_ns, 130u);
+  EXPECT_DOUBLE_EQ(rep.top_contended[0].mean_wait_ns(), 90.0);
+  EXPECT_EQ(rep.top_contended[1].name, 888u);
+  EXPECT_EQ(rep.top_contended[1].total_wait_ns, 130u);
+
+  // Duplicate completion of an already-finished txn is a no-op.
+  obs.OnCommit(0, 1, 500, 500);
+  EXPECT_EQ(obs.Snapshot().commit_latency.count(), 1u);
+}
+
+TEST(Metrics, LatencyAvailabilityAndContentionKeysAreStable) {
+  Harness h(ObservedConfig(1, /*obs_on=*/true));
+  auto report = h.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->latency.enabled);
+  ASSERT_FALSE(report->recoveries.empty());
+
+  json::Value snap = MetricsRegistry::FromReport(*report).ToJson();
+  for (const char* hist : {"commit", "abort", "lock_wait", "gc_residency",
+                           "commit_steady", "commit_through_crash"}) {
+    for (const char* stat : {"count", "mean_ns", "p50_ns", "p90_ns",
+                             "p99_ns", "p999_ns", "max_ns"}) {
+      std::string key = std::string("latency.") + hist + "." + stat;
+      EXPECT_NE(snap.Find(key), nullptr) << "missing " << key;
+    }
+  }
+  EXPECT_GT(snap.GetUint("latency.commit.count"), 0u);
+  ASSERT_NE(snap.Find("availability.crashes"), nullptr);
+  EXPECT_EQ(snap.GetUint("availability.crashes"),
+            report->recoveries.size());
+  for (size_t i = 0; i < report->recoveries.size(); ++i) {
+    const std::string p = "availability." + std::to_string(i) + ".";
+    for (const char* leaf : {"crash_ts_ns", "recovery_end_ts_ns", "ttfc_ns",
+                             "steady_tps", "trough_depth_pct",
+                             "trough_duration_ns"}) {
+      EXPECT_NE(snap.Find(p + leaf), nullptr) << "missing " << p << leaf;
+    }
+  }
+  ASSERT_NE(snap.Find("locks.contention.count"), nullptr);
+
+  // The full latency report serializes and exposes its stable sections.
+  auto parsed = json::Value::Parse(report->latency.ToJson().Dump(1));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  for (const char* key : {"latency", "series", "availability",
+                          "node_state_transitions", "lock_contention"}) {
+    EXPECT_NE(parsed->Find(key), nullptr) << "missing section " << key;
+  }
+
+  // With the observatory off the latency keys vanish rather than showing
+  // up zeroed — downstream dashboards can key off presence.
+  Harness off(ObservedConfig(1, /*obs_on=*/false));
+  auto off_report = off.Run();
+  ASSERT_TRUE(off_report.ok()) << off_report.status().ToString();
+  EXPECT_FALSE(off_report->latency.enabled);
+  json::Value off_snap = MetricsRegistry::FromReport(*off_report).ToJson();
+  EXPECT_EQ(off_snap.Find("latency.commit.count"), nullptr);
+  EXPECT_EQ(off_snap.Find("availability.crashes"), nullptr);
+}
+
+TEST(ObservatoryDeterminism, DigestsBitIdenticalObservatoryOnVsOff) {
+  auto run = [](bool obs_on) {
+    HarnessConfig cfg = ObservedConfig(1, obs_on);
+    cfg.capture_digests = true;
+    Harness h(cfg);
+    auto report = h.Run();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report->digests;
+  };
+  std::vector<StateDigest> off = run(false);
+  std::vector<StateDigest> on = run(true);
+  ASSERT_FALSE(off.empty());
+  ASSERT_EQ(off.size(), on.size());
+  for (size_t i = 0; i < off.size(); ++i) {
+    EXPECT_TRUE(off[i] == on[i])
+        << "digest " << i << " diverged:\n  off " << off[i].ToString()
+        << "\n  on  " << on[i].ToString();
+  }
+}
+
+TEST(ObservatoryDeterminism, HistogramsInvariantAcrossRecoveryThreadWidths) {
+  auto run = [](uint32_t threads) {
+    Harness h(ObservedConfig(threads, /*obs_on=*/true));
+    auto report = h.Run();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report->latency;
+  };
+  // Host thread-pool scheduling must never leak into the measurements: at
+  // every width, a repeated run yields a bit-identical report — every
+  // histogram, the availability timeline, and the contention ranking.
+  // (recovery_threads also models *simulated* parallel recovery, which by
+  // design shortens the recovery envelope; cross-width, the quantities
+  // derived from the identical pre-crash execution must agree exactly.)
+  LatencyReport w1 = run(1);
+  std::vector<LatencyReport> reports;
+  for (uint32_t threads : {1u, 4u, 8u}) {
+    SCOPED_TRACE("width " + std::to_string(threads));
+    LatencyReport a = run(threads);
+    LatencyReport b = run(threads);
+    ASSERT_GT(a.commit_latency.count(), 0u);
+    EXPECT_TRUE(a.commit_latency == b.commit_latency);
+    EXPECT_TRUE(a.abort_latency == b.abort_latency);
+    EXPECT_TRUE(a.lock_wait == b.lock_wait);
+    EXPECT_TRUE(a.gc_residency == b.gc_residency);
+    EXPECT_TRUE(a.commit_steady == b.commit_steady);
+    EXPECT_TRUE(a.commit_through_crash == b.commit_through_crash);
+    EXPECT_EQ(a.commit_latency.P99(), b.commit_latency.P99());
+    EXPECT_EQ(a.commit_latency.P999(), b.commit_latency.P999());
+    ASSERT_EQ(a.availability.crashes.size(), b.availability.crashes.size());
+    for (size_t i = 0; i < a.availability.crashes.size(); ++i) {
+      EXPECT_EQ(a.availability.crashes[i].ttfc_ns(),
+                b.availability.crashes[i].ttfc_ns());
+      EXPECT_EQ(a.availability.crashes[i].trough_windows,
+                b.availability.crashes[i].trough_windows);
+    }
+    ASSERT_EQ(a.top_contended.size(), b.top_contended.size());
+    for (size_t i = 0; i < a.top_contended.size(); ++i) {
+      EXPECT_EQ(a.top_contended[i].name, b.top_contended[i].name);
+      EXPECT_EQ(a.top_contended[i].total_wait_ns,
+                b.top_contended[i].total_wait_ns);
+    }
+    reports.push_back(std::move(a));
+  }
+  // Cross-width: the same transactions commit (state equivalence across
+  // recovery widths, per the differential oracle), and everything anchored
+  // before the first crash is timing-identical — the crash instant and the
+  // steady throughput derived from the pre-crash windows.
+  for (size_t i = 1; i < reports.size(); ++i) {
+    SCOPED_TRACE("cross-width report " + std::to_string(i));
+    EXPECT_EQ(reports[i].commit_latency.count(),
+              w1.commit_latency.count());
+    EXPECT_EQ(reports[i].abort_latency.count(), w1.abort_latency.count());
+    ASSERT_EQ(reports[i].availability.crashes.size(),
+              w1.availability.crashes.size());
+    ASSERT_FALSE(w1.availability.crashes.empty());
+    EXPECT_EQ(reports[i].availability.crashes[0].crash_ts,
+              w1.availability.crashes[0].crash_ts);
+    EXPECT_DOUBLE_EQ(reports[i].availability.crashes[0].steady_tps,
+                     w1.availability.crashes[0].steady_tps);
+  }
+}
+
+TEST(StatsParity, ForceBatchHistogramMatchesTheClassicBuckets) {
+  LogStats s;
+  uint64_t manual[LogStats::kBatchBuckets] = {};
+  for (uint64_t n = 1; n <= 200; ++n) {
+    s.force_batches.Record(n);
+    size_t b = LogStats::BatchBucket(n);
+    ++manual[b];
+    auto [lo, hi] = LogStats::BatchBucketRange(b);
+    EXPECT_GE(n, lo) << "bucket range excludes its own member";
+    EXPECT_LE(n, hi);
+  }
+  uint64_t total = 0;
+  for (size_t b = 0; b < LogStats::kBatchBuckets; ++b) {
+    EXPECT_EQ(s.force_batch_bucket(b), manual[b]) << "bucket " << b << " ("
+                                                  << LogStats::BatchBucketLabel(b)
+                                                  << ")";
+    total += s.force_batch_bucket(b);
+  }
+  EXPECT_EQ(total, 200u) << "derived buckets must partition the recordings";
+  EXPECT_EQ(s.max_force_batch(), 200u);
 }
 
 }  // namespace

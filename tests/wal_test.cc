@@ -108,9 +108,9 @@ TEST(LogManagerTest, ForceBatchAccounting) {
   EXPECT_EQ(s.forced_records, 6u);
   // Every force makes at least one record durable.
   EXPECT_LE(s.forces, s.forced_records);
-  EXPECT_EQ(s.max_force_batch, 5u);
-  EXPECT_EQ(s.force_batch_hist[LogStats::BatchBucket(1)], 1u);
-  EXPECT_EQ(s.force_batch_hist[LogStats::BatchBucket(5)], 1u);
+  EXPECT_EQ(s.max_force_batch(), 5u);
+  EXPECT_EQ(s.force_batch_bucket(LogStats::BatchBucket(1)), 1u);
+  EXPECT_EQ(s.force_batch_bucket(LogStats::BatchBucket(5)), 1u);
 }
 
 TEST(LogManagerTest, BatchBucketsCoverPowersOfTwo) {

@@ -1,0 +1,162 @@
+// bench_compare — diff two BENCH_*.json files and flag regressions.
+//
+// Flattens every numeric leaf of both documents to a dotted path
+// ("series.0.crashes.1.ttfc_ns"), compares them pairwise, and exits
+// non-zero when any value moved by more than the threshold (symmetric
+// relative delta, so a 0 -> small change doesn't divide by zero).
+//
+// Usage:
+//   bench_compare baseline.json current.json [--threshold=0.25]
+//                 [--report-only] [--match=SUBSTR]
+//
+//   --threshold=F   relative-delta tolerance (default 0.25 = 25%)
+//   --report-only   print the comparison but always exit 0 (CI soak mode)
+//   --match=SUBSTR  only compare paths containing SUBSTR (repeatable)
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace smdb {
+namespace {
+
+/// path -> numeric value, depth-first over objects and arrays.
+void Flatten(const json::Value& v, const std::string& path,
+             std::map<std::string, double>* out) {
+  switch (v.type()) {
+    case json::Value::Type::kUint:
+    case json::Value::Type::kDouble:
+      (*out)[path] = v.AsDouble();
+      return;
+    case json::Value::Type::kObject:
+      for (const auto& [key, member] : v.members()) {
+        Flatten(member, path.empty() ? key : path + "." + key, out);
+      }
+      return;
+    case json::Value::Type::kArray:
+      for (size_t i = 0; i < v.array().size(); ++i) {
+        Flatten(v.array()[i], path + "." + std::to_string(i), out);
+      }
+      return;
+    default:
+      return;  // strings/bools/nulls are labels, not measurements
+  }
+}
+
+/// Symmetric relative delta: |a-b| / max(|a|, |b|); 0 when both are 0.
+double RelDelta(double a, double b) {
+  const double mag = std::max(std::fabs(a), std::fabs(b));
+  return mag == 0.0 ? 0.0 : std::fabs(a - b) / mag;
+}
+
+bool ReadDoc(const char* path, json::Value* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = json::Value::Parse(buf.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path,
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double threshold = 0.25;
+  bool report_only = false;
+  std::vector<std::string> matches;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::stod(arg.substr(strlen("--threshold=")));
+    } else if (arg == "--report-only") {
+      report_only = true;
+    } else if (arg.rfind("--match=", 0) == 0) {
+      matches.push_back(arg.substr(strlen("--match=")));
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else {
+      std::fprintf(stderr, "bench_compare: unexpected argument %s\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_compare baseline.json current.json "
+                 "[--threshold=F] [--report-only] [--match=SUBSTR]\n");
+    return 2;
+  }
+
+  json::Value baseline, current;
+  if (!ReadDoc(baseline_path, &baseline) || !ReadDoc(current_path, &current)) {
+    return 2;
+  }
+  std::map<std::string, double> base_vals, cur_vals;
+  Flatten(baseline, "", &base_vals);
+  Flatten(current, "", &cur_vals);
+
+  auto matched = [&matches](const std::string& path) {
+    if (matches.empty()) return true;
+    for (const std::string& m : matches) {
+      if (path.find(m) != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  size_t compared = 0;
+  size_t regressions = 0;
+  for (const auto& [path, base] : base_vals) {
+    if (!matched(path)) continue;
+    auto it = cur_vals.find(path);
+    if (it == cur_vals.end()) {
+      std::printf("MISSING  %-60s (baseline %.6g)\n", path.c_str(), base);
+      ++regressions;
+      continue;
+    }
+    ++compared;
+    const double delta = RelDelta(base, it->second);
+    if (delta > threshold) {
+      if (base == 0.0) {
+        std::printf("DELTA    %-60s %.6g -> %.6g\n", path.c_str(), base,
+                    it->second);
+      } else {
+        std::printf("DELTA    %-60s %.6g -> %.6g (%+.1f%%)\n", path.c_str(),
+                    base, it->second, (it->second - base) / base * 100.0);
+      }
+      ++regressions;
+    }
+  }
+  for (const auto& [path, cur] : cur_vals) {
+    if (matched(path) && base_vals.find(path) == base_vals.end()) {
+      std::printf("NEW      %-60s (current %.6g)\n", path.c_str(), cur);
+    }
+  }
+
+  std::printf("bench_compare: %zu values compared, %zu past %.0f%% threshold%s\n",
+              compared, regressions, threshold * 100.0,
+              report_only && regressions > 0 ? " (report-only)" : "");
+  return regressions > 0 && !report_only ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace smdb
+
+int main(int argc, char** argv) { return smdb::Run(argc, argv); }

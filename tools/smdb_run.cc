@@ -22,8 +22,9 @@ namespace {
 struct Flags {
   HarnessConfig cfg;
   bool verbose = false;
-  std::string trace_out;   // Chrome trace-event file ("" = no trace)
-  std::string stats_json;  // unified metrics snapshot ("" = none)
+  std::string trace_out;    // Chrome trace-event file ("" = no trace)
+  std::string stats_json;   // unified metrics snapshot ("" = none)
+  std::string latency_json; // observatory export ("" = none)
 };
 
 void Usage() {
@@ -64,6 +65,16 @@ void Usage() {
       "  --trace-capacity=N       per-node trace ring capacity (default "
       "4096)\n"
       "  --stats-json=PATH        write the unified metrics snapshot\n"
+      "  --latency-json=PATH      enable the latency observatory and write\n"
+      "                           its full export (histograms, windowed\n"
+      "                           series, availability timeline)\n"
+      "  --obs                    enable the observatory without the JSON\n"
+      "                           export (percentiles land in --stats-json)\n"
+      "  --obs-window=NS          time-series window in sim-ns (default "
+      "50000)\n"
+      "  --obs-influence=NS       post-recovery span still counted as\n"
+      "                           through-crash (default 200000)\n"
+      "  --obs-top-contended=N    lock-contention profile size (default 8)\n"
       "  --verbose                dump per-subsystem statistics\n");
 }
 
@@ -146,6 +157,21 @@ bool ParseFlag(Flags& f, const std::string& arg) {
   } else if (key == "--stats-json") {
     if (val.empty()) return false;
     f.stats_json = val;
+  } else if (key == "--latency-json") {
+    if (val.empty()) return false;
+    f.latency_json = val;
+    cfg.db.obs.enabled = true;
+  } else if (key == "--obs") {
+    cfg.db.obs.enabled = true;
+  } else if (key == "--obs-window") {
+    cfg.db.obs.enabled = true;
+    cfg.db.obs.window_ns = std::stoull(val);
+  } else if (key == "--obs-influence") {
+    cfg.db.obs.enabled = true;
+    cfg.db.obs.crash_influence_ns = std::stoull(val);
+  } else if (key == "--obs-top-contended") {
+    cfg.db.obs.enabled = true;
+    cfg.db.obs.top_contended = static_cast<uint32_t>(std::stoul(val));
   } else if (key == "--verbose") {
     f.verbose = true;
   } else {
@@ -190,6 +216,12 @@ int Run(const Flags& flags) {
     reg.AddTrace(h.db().tracer());
     if (!WriteFile(flags.stats_json, reg.ToJson().Dump(1))) return 1;
   }
+  if (!flags.latency_json.empty()) {
+    if (!WriteFile(flags.latency_json,
+                   report->latency.ToJson().Dump(1))) {
+      return 1;
+    }
+  }
   const HarnessReport& r = *report;
   std::printf("protocol            %s\n",
               flags.cfg.db.recovery.Name().c_str());
@@ -211,6 +243,24 @@ int Run(const Flags& flags) {
   for (size_t i = 0; i < r.recoveries.size(); ++i) {
     std::printf("recovery[%zu]         %s\n", i,
                 r.recoveries[i].ToString().c_str());
+  }
+  if (r.latency.enabled) {
+    std::printf("commit latency      p50 %s  p99 %s  p99.9 %s (n=%llu)\n",
+                FormatSimTime(r.latency.commit_latency.P50()).c_str(),
+                FormatSimTime(r.latency.commit_latency.P99()).c_str(),
+                FormatSimTime(r.latency.commit_latency.P999()).c_str(),
+                static_cast<unsigned long long>(
+                    r.latency.commit_latency.count()));
+    for (size_t i = 0; i < r.latency.availability.crashes.size(); ++i) {
+      const CrashAvailability& c = r.latency.availability.crashes[i];
+      std::printf(
+          "availability[%zu]     ttfc %s  trough %.0f%% for %s  "
+          "p99 steady %s vs through-crash %s\n",
+          i, FormatSimTime(c.ttfc_ns()).c_str(), c.depth_pct,
+          FormatSimTime(c.trough_duration_ns).c_str(),
+          FormatSimTime(r.latency.commit_steady.P99()).c_str(),
+          FormatSimTime(r.latency.commit_through_crash.P99()).c_str());
+    }
   }
   std::printf("unnecessary aborts  %llu\n",
               static_cast<unsigned long long>(r.unnecessary_aborts()));
