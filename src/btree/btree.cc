@@ -224,6 +224,26 @@ Status BTree::EarlyCommitStructural(NodeId node,
                                     const std::vector<PageId>& pages,
                                     const std::string& description) {
   if (!early_commit_structural_) {
+    if (force_structural_pages_) {
+      // Reboot semantics: no structural log records exist, so the stable DB
+      // itself must stay self-consistent — flush the touched pages now. The
+      // old leaf comes first in `pages`, and FlushPage's WAL gate forces the
+      // log records covering the entries that moved to the new right
+      // sibling before any page image lands.
+      std::vector<PageId> unique_pages;
+      for (PageId p : pages) {
+        if (std::find(unique_pages.begin(), unique_pages.end(), p) ==
+            unique_pages.end()) {
+          unique_pages.push_back(p);
+        }
+      }
+      for (PageId p : unique_pages) {
+        buffers_->MarkDirty(p);
+        SMDB_RETURN_IF_ERROR(buffers_->FlushPage(node, p));
+      }
+      ++stats_.early_commits;
+      return Status::Ok();
+    }
     // Ablation baseline: the structural change stays volatile. Crash
     // experiments show the resulting IFA violations.
     return Status::Ok();

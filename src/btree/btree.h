@@ -79,6 +79,17 @@ class BTree {
   Status Init(NodeId node);
 
   uint32_t tree_id() const { return tree_id_; }
+
+  /// Reboot-semantics escape hatch for the `early_commit_structural = false`
+  /// ablation: RebootAll discards every volatile page and reloads stable
+  /// images, so a split that exists only in memory leaves the reloaded tree
+  /// with torn routing (a parent pointing at a page whose stable image is
+  /// still the freshly-allocated blank). When set, structural changes are
+  /// made durable by flushing the touched pages at split time instead of
+  /// logging them — the stable DB stays self-consistent, which is exactly
+  /// the contract a whole-reboot restart relies on.
+  void set_force_structural_pages(bool on) { force_structural_pages_ = on; }
+
   PageId root_page() const { return root_; }
   const std::vector<PageId>& pages() const { return page_list_; }
   bool OwnsPage(PageId page) const { return pages_.contains(page); }
@@ -151,6 +162,12 @@ class BTree {
 
   /// Current entry for `key` (live or tombstoned), if any. Coherent read.
   Result<std::optional<LeafEntry>> GetEntry(NodeId node, uint64_t key);
+
+  /// Every non-free entry for `key` (a key can carry both a live entry and
+  /// a tombstone). Coherent reads; used by on-demand recovery's per-key tag
+  /// discharge, which must resolve each entry individually like the full
+  /// tag scan does.
+  Result<std::vector<EntryRef>> EntriesForKey(NodeId node, uint64_t key);
 
  private:
   friend class BTreeRecoveryAccess;
@@ -237,6 +254,7 @@ class BTree {
   LbmPolicy* lbm_;
   uint32_t tree_id_;
   bool early_commit_structural_;
+  bool force_structural_pages_ = false;
   uint32_t machine_line_size_;
   uint32_t page_size_;
 

@@ -16,6 +16,17 @@ Status BTree::RedoIndexOp(NodeId node, const IndexOpPayload& op,
       FindEntrySlot(node, leaf, op.key, /*include_tombstones=*/true);
 
   if (op.op == IndexOpPayload::Op::kInsert) {
+    // Eager replay never finds a leaf full (replay occupancy is bounded by
+    // the leaf's historical occupancy), but on-demand recovery can: new
+    // post-crash traffic may refill the leaf before the deferred redo of
+    // this record arrives. Mirror the runtime insert path — split and retry
+    // on the leaf that should now hold the key.
+    auto free_slot = [&]() -> Result<uint32_t> {
+      auto s = FindFreeSlot(node, leaf);
+      if (s.ok() || !s.status().IsNotFound()) return s;
+      SMDB_ASSIGN_OR_RETURN(leaf, SplitForInsert(node, path, op.key));
+      return FindFreeSlot(node, leaf);
+    };
     uint32_t slot;
     if (slot_or.ok()) {
       SMDB_ASSIGN_OR_RETURN(LeafEntry e, ReadLeafEntry(node, leaf, *slot_or));
@@ -23,12 +34,12 @@ Status BTree::RedoIndexOp(NodeId node, const IndexOpPayload& op,
       if (e.state == LeafEntryState::kTombstone && e.tag != kTagNone) {
         // An uncommitted tombstone is undo information; mirror the runtime
         // rule and take a fresh slot for the re-insert.
-        SMDB_ASSIGN_OR_RETURN(slot, FindFreeSlot(node, leaf));
+        SMDB_ASSIGN_OR_RETURN(slot, free_slot());
       } else {
         slot = *slot_or;
       }
     } else if (slot_or.status().IsNotFound()) {
-      SMDB_ASSIGN_OR_RETURN(slot, FindFreeSlot(node, leaf));
+      SMDB_ASSIGN_OR_RETURN(slot, free_slot());
     } else {
       return slot_or.status();
     }
@@ -205,6 +216,20 @@ Result<std::optional<LeafEntry>> BTree::GetEntry(NodeId node, uint64_t key) {
   SMDB_ASSIGN_OR_RETURN(LeafEntry e,
                         ReadLeafEntry(node, path.back(), *slot_or));
   return std::optional<LeafEntry>{e};
+}
+
+Result<std::vector<BTree::EntryRef>> BTree::EntriesForKey(NodeId node,
+                                                          uint64_t key) {
+  std::vector<PageId> path;
+  SMDB_RETURN_IF_ERROR(DescendToLeaf(node, key, &path));
+  PageId leaf = path.back();
+  std::vector<EntryRef> out;
+  for (uint32_t slot = 0; slot < leaf_capacity(); ++slot) {
+    SMDB_ASSIGN_OR_RETURN(LeafEntry e, ReadLeafEntry(node, leaf, slot));
+    if (e.state == LeafEntryState::kFree || e.key != key) continue;
+    out.push_back(EntryRef{leaf, static_cast<uint16_t>(slot), e});
+  }
+  return out;
 }
 
 Status BTree::CheckStructure(NodeId node) {

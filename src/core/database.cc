@@ -1,5 +1,6 @@
 #include "core/database.h"
 
+#include "core/on_demand.h"
 #include "core/recovery_manager.h"
 #include "db/page_layout.h"
 #include "wal/checkpoint.h"
@@ -48,6 +49,14 @@ Database::Database(DatabaseConfig config) : config_(config) {
   index_ = std::make_unique<BTree>(
       machine_.get(), buffers_.get(), log_.get(), wal_table_.get(), &usn_,
       lbm_.get(), /*tree_id=*/1, config_.recovery.early_commit_structural);
+  // Under RebootAll the restart discards every volatile page and reloads
+  // stable images; with the early-commit ablation a split would otherwise
+  // exist only in memory and the reloaded tree comes back torn. Reboot
+  // semantics require a self-consistent stable DB, so splits flush their
+  // pages instead of logging.
+  index_->set_force_structural_pages(
+      !config_.recovery.early_commit_structural &&
+      config_.recovery.restart == RestartKind::kRebootAll);
   txn_ = std::make_unique<TxnManager>(
       machine_.get(), log_.get(), locks_.get(), records_.get(), index_.get(),
       wal_table_.get(), buffers_.get(), lbm_.get(), &usn_, deps_.get(),
@@ -56,6 +65,19 @@ Database::Database(DatabaseConfig config) : config_(config) {
   txn_->set_tracer(tracer_.get());
   txn_->set_observatory(observatory_.get());
   recovery_ = std::make_unique<RecoveryManager>(this);
+  if (config_.recovery.on_demand) {
+    on_demand_ = std::make_unique<OnDemandRecovery>(this);
+    // First-touch hooks: every transactional access to an object discharges
+    // that object's pending recovery obligations first. No-ops outside the
+    // Recovering window.
+    txn_->SetRecoveryTouch(
+        [this](NodeId node, RecordId rid) {
+          return on_demand_->TouchRecord(node, rid);
+        },
+        [this](NodeId node, uint32_t tree_id, uint64_t key) {
+          return on_demand_->TouchKey(node, tree_id, key);
+        });
+  }
 
   // A node crash destroys the node's volatile log tail and resets its
   // column of the WAL (page, LSN) table.
@@ -77,6 +99,10 @@ Result<std::vector<RecordId>> Database::CreateTable(size_t nrecords,
 }
 
 Status Database::Checkpoint(NodeId coordinator) {
+  // A checkpoint flushes dirty pages and truncates stable logs — both
+  // unsound while lazy obligations still reference those logs and pages.
+  // Finish the recovery first.
+  SMDB_RETURN_IF_ERROR(DrainRecovery());
   std::vector<std::vector<TxnId>> active(config_.machine.num_nodes);
   for (Transaction* t : txn_->ActiveAll()) {
     active[t->node()].push_back(t->id);
@@ -122,6 +148,20 @@ Result<RecoveryOutcome> Database::Crash(const std::vector<NodeId>& crashed) {
 
 void Database::RestartNodes(const std::vector<NodeId>& nodes) {
   for (NodeId n : nodes) machine_->RestartNode(n);
+}
+
+bool Database::RecoveringActive() const {
+  return on_demand_ != nullptr && on_demand_->active();
+}
+
+Result<int> Database::PumpRecovery(int max_objects) {
+  if (on_demand_ == nullptr) return 0;
+  return on_demand_->SweepStep(max_objects);
+}
+
+Status Database::DrainRecovery() {
+  if (on_demand_ == nullptr) return Status::Ok();
+  return on_demand_->DrainAll();
 }
 
 }  // namespace smdb

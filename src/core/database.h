@@ -27,6 +27,7 @@
 
 namespace smdb {
 
+class OnDemandRecovery;
 class RecoveryManager;
 
 /// Top-level configuration of an smdb instance.
@@ -81,6 +82,23 @@ class Database {
   void RestartNodes(const std::vector<NodeId>& nodes);
 
   // ----------------------------------------------------------------------
+  // On-demand (instant) recovery. All three are safe no-ops when
+  // recovery.on_demand is off or nothing is pending.
+
+  /// True while a crash's obligations are still being discharged lazily —
+  /// the `Recovering` serving state (new transactions run; first touch of
+  /// an unrecovered object recovers it).
+  bool RecoveringActive() const;
+
+  /// Background sweeper step: discharges up to `max_objects` pending
+  /// objects in global-USN order. Returns the number discharged.
+  Result<int> PumpRecovery(int max_objects = 1);
+
+  /// Discharges every remaining obligation in the eager phase order and
+  /// leaves the Recovering state.
+  Status DrainRecovery();
+
+  // ----------------------------------------------------------------------
   // Components.
 
   Machine& machine() { return *machine_; }
@@ -99,6 +117,8 @@ class Database {
   UsnSource& usn() { return usn_; }
   DependencyTracker* deps() { return deps_.get(); }
   RecoveryManager& recovery() { return *recovery_; }
+  /// Null unless recovery.on_demand is on.
+  OnDemandRecovery* on_demand() { return on_demand_.get(); }
   /// The event tracer. Always constructed; recording is gated by
   /// DatabaseConfig::trace.enabled (and set_enabled at runtime).
   TraceRecorder& tracer() { return *tracer_; }
@@ -138,6 +158,7 @@ class Database {
   std::unique_ptr<BTree> index_;
   std::unique_ptr<TxnManager> txn_;
   std::unique_ptr<RecoveryManager> recovery_;
+  std::unique_ptr<OnDemandRecovery> on_demand_;  // null when off
 };
 
 }  // namespace smdb

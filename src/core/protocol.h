@@ -82,6 +82,21 @@ struct RecoveryConfig {
   /// records, regardless of the window.
   uint32_t group_commit_max_batch = 64;
 
+  /// On-demand (instant) restart recovery, after Sauer & Härder's
+  /// instant-restart design. When on, the IFA schemes (Redo All /
+  /// Selective Redo with survivors) run only an eager prefix at crash time
+  /// — analysis, index reload + structural redo, lock-table rebuild — and
+  /// return with the database in a `Recovering` serving state: new
+  /// transactions run immediately, the first touch of an unrecovered
+  /// object discharges that object's redo/undo obligations under its
+  /// rebuilt lock, and a background sweeper drains the rest in global-USN
+  /// order (Database::PumpRecovery / DrainRecovery). RebootAll,
+  /// AbortDependents and whole-machine restarts stay fully eager.
+  /// Orthogonal to protocol identity: FlagName()/presets ignore it, and
+  /// when a drain runs before any new traffic the recovered machine state
+  /// is bit-identical to the eager pass (tests/on_demand_recovery_test.cc).
+  bool on_demand = false;
+
   /// Fault injection: suppress undo tags even when the restart scheme
   /// depends on them. This breaks IFA by construction (a crashed node's
   /// migrated update survives untagged in a remote cache and never gets

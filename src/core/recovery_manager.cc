@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/database.h"
+#include "core/on_demand.h"
 #include "core/stable_state.h"
 #include "db/page_layout.h"
 #include "obs/trace.h"
@@ -270,9 +271,12 @@ Status RecoveryManager::ApplyRedoUpdate(Ctx& ctx, NodeId performer,
   m.ReleaseLine(performer, record_line);
   m.ReleaseLine(performer, header_line);
   SMDB_RETURN_IF_ERROR(s);
-  // The redone update's log record lives on rec.node; if that node
-  // survives, the WAL gate must still cover it before any future flush.
-  if (m.NodeAlive(rec.node)) {
+  // The redone update's log record lives on rec.node; if that node was not
+  // lost in the crash, the WAL gate must still cover it before any future
+  // flush. Keyed on the crash-time dead set, not current liveness: lazy
+  // discharge can run after the node restarted, and a restart does not
+  // resurrect the lost volatile tail.
+  if (!ctx.dead_set.contains(rec.node)) {
     db_->wal_table().NoteUpdate(u.rid.page, rec.node, rec.lsn);
   }
   db_->buffers().MarkDirty(u.rid.page);
@@ -323,6 +327,13 @@ Status RecoveryManager::ApplyRedoStructural(Ctx& ctx, NodeId performer,
 }
 
 Status RecoveryManager::ReplayLogsWithGuard(Ctx& ctx) {
+  std::vector<LogRecord> records;
+  SMDB_RETURN_IF_ERROR(CollectRedoRecords(ctx, &records));
+  return ApplyRedoRecords(ctx, records);
+}
+
+Status RecoveryManager::CollectRedoRecords(Ctx& ctx,
+                                           std::vector<LogRecord>* out) {
   Machine& m = db_->machine();
   // Gather the redo-relevant records from every reachable log, then apply
   // them in global USN order. Record updates are order-free under the USN
@@ -354,7 +365,7 @@ Status RecoveryManager::ReplayLogsWithGuard(Ctx& ctx) {
       db_->log().ForEachStable(n, visit);
     }
   });
-  std::vector<LogRecord> records;
+  std::vector<LogRecord>& records = *out;
   {
     size_t total = 0;
     for (const auto& v : per_node) total += v.size();
@@ -375,6 +386,11 @@ Status RecoveryManager::ReplayLogsWithGuard(Ctx& ctx) {
             [&](const LogRecord& a, const LogRecord& b) {
               return usn_of(a) < usn_of(b);
             });
+  return Status::Ok();
+}
+
+Status RecoveryManager::ApplyRedoRecords(Ctx& ctx,
+                                         const std::vector<LogRecord>& records) {
   // Structural changes first: index redo descends the tree, so the tree's
   // routing structure must be re-established before any entry-level record
   // is replayed (a reloaded pre-split root routes into garbage). The
@@ -384,6 +400,10 @@ Status RecoveryManager::ReplayLogsWithGuard(Ctx& ctx) {
     if (rec.type != LogRecordType::kStructural) continue;
     SMDB_RETURN_IF_ERROR(ApplyRedoStructural(ctx, ctx.NextSurvivor(), rec));
   }
+  // On-demand prefix: entry-level records are discharged lazily (first
+  // touch or sweep), in this same global-USN order for whatever remains at
+  // drain time.
+  if (ctx.lazy) return Status::Ok();
   // Entry-level replay stays in global USN order regardless of thread
   // count (the partitioned streams change *who* performs each record, not
   // *when*): same-page records replay in USN order by construction, and the
@@ -402,8 +422,69 @@ Status RecoveryManager::ReplayLogsWithGuard(Ctx& ctx) {
 }
 
 Status RecoveryManager::UndoCrashedFromStableLogs(Ctx& ctx) {
+  UndoWork work;
+  SMDB_RETURN_IF_ERROR(CollectUndoWork(ctx, &work));
+  const std::vector<LogRecord>& to_undo = work.to_undo;
+  const auto& clr_slots = work.clr_slots;
+  const auto& clr_keys = work.clr_keys;
+
+  // A previous recovery's compensation chain for one of these transactions
+  // can be split across several performers' logs (the undo pass round-robins
+  // survivors), so a later crash can lose its tail while the redo pass
+  // replays its surviving prefix. That leaves the object at an intermediate
+  // CLR state whose USN matches no original record — which the engagement
+  // guard would misread as "legitimately overwritten" and strand the object
+  // mid-rollback. Pre-seed the engagement map: if an object's current USN
+  // was produced by a CLR of a transaction being undone here, resume that
+  // transaction's chain. Re-undoing an already-compensated record is value-
+  // safe — the chain re-converges to the oldest before image.
+  TxnManager::UndoEngagement eng;
+  std::set<RecordId> seeded_rids;
+  std::set<std::pair<uint32_t, uint64_t>> seeded_keys;
+  for (const LogRecord& rec : to_undo) {
+    if (rec.type == LogRecordType::kUpdate) {
+      RecordId rid = rec.update().rid;
+      if (!seeded_rids.insert(rid).second) continue;
+      SMDB_ASSIGN_OR_RETURN(
+          SlotImage cur, db_->records().ReadSlot(UndoPerformer(ctx, rec), rid));
+      auto it = clr_slots.find(cur.usn);
+      if (it != clr_slots.end() && it->second.second == rid) {
+        eng.records[rid] = it->second.first;
+      }
+    } else {
+      const IndexOpPayload& op = rec.index_op();
+      std::pair<uint32_t, uint64_t> key{op.tree_id, op.key};
+      if (!seeded_keys.insert(key).second) continue;
+      SMDB_ASSIGN_OR_RETURN(
+          auto entry, db_->index().GetEntry(UndoPerformer(ctx, rec), op.key));
+      if (!entry.has_value()) continue;
+      auto it = clr_keys.find(entry->usn);
+      if (it != clr_keys.end() && it->second.second == key) {
+        eng.keys[key] = it->second.first;
+      }
+    }
+  }
+  // The apply loop keeps the exact reverse-USN global order for every
+  // thread count — ApplyUndo* allocates a fresh USN per CLR, so the
+  // allocation order (and therefore all recovered page bytes) must be
+  // thread-count-invariant. Partitioning changes only the performer, which
+  // only affects performance state (clocks, cache residency, CLR log
+  // placement).
+  for (const LogRecord& rec : to_undo) {
+    NodeId performer = UndoPerformer(ctx, rec);
+    if (rec.type == LogRecordType::kUpdate) {
+      SMDB_RETURN_IF_ERROR(db_->txn().ApplyUndoUpdate(performer, rec, &eng));
+    } else {
+      SMDB_RETURN_IF_ERROR(db_->txn().ApplyUndoIndexOp(performer, rec, &eng));
+    }
+    ++ctx.out.undo_applied;
+  }
+  return Status::Ok();
+}
+
+Status RecoveryManager::CollectUndoWork(Ctx& ctx, UndoWork* out) {
   // Collect every non-CLR update/index record of uncommitted dead
-  // transactions from every stable log, and undo in reverse USN order.
+  // transactions from every stable log, to undo in reverse USN order.
   // Surviving active transactions are excluded — their (stolen) updates are
   // exactly what IFA preserves. The all-node scan re-derives undo work left
   // over from earlier crashes whose compensations were since lost; the
@@ -487,48 +568,9 @@ Status RecoveryManager::UndoCrashedFromStableLogs(Ctx& ctx) {
     clr_slots.merge(node_clr_slots[n]);
     clr_keys.merge(node_clr_keys[n]);
   }
-
-  TxnManager::UndoEngagement eng;
-  std::set<RecordId> seeded_rids;
-  std::set<std::pair<uint32_t, uint64_t>> seeded_keys;
-  for (const LogRecord& rec : to_undo) {
-    if (rec.type == LogRecordType::kUpdate) {
-      RecordId rid = rec.update().rid;
-      if (!seeded_rids.insert(rid).second) continue;
-      SMDB_ASSIGN_OR_RETURN(
-          SlotImage cur, db_->records().ReadSlot(UndoPerformer(ctx, rec), rid));
-      auto it = clr_slots.find(cur.usn);
-      if (it != clr_slots.end() && it->second.second == rid) {
-        eng.records[rid] = it->second.first;
-      }
-    } else {
-      const IndexOpPayload& op = rec.index_op();
-      std::pair<uint32_t, uint64_t> key{op.tree_id, op.key};
-      if (!seeded_keys.insert(key).second) continue;
-      SMDB_ASSIGN_OR_RETURN(
-          auto entry, db_->index().GetEntry(UndoPerformer(ctx, rec), op.key));
-      if (!entry.has_value()) continue;
-      auto it = clr_keys.find(entry->usn);
-      if (it != clr_keys.end() && it->second.second == key) {
-        eng.keys[key] = it->second.first;
-      }
-    }
-  }
-  // The apply loop keeps the exact reverse-USN global order for every
-  // thread count — ApplyUndo* allocates a fresh USN per CLR, so the
-  // allocation order (and therefore all recovered page bytes) must be
-  // thread-count-invariant. Partitioning changes only the performer, which
-  // only affects performance state (clocks, cache residency, CLR log
-  // placement).
-  for (const LogRecord& rec : to_undo) {
-    NodeId performer = UndoPerformer(ctx, rec);
-    if (rec.type == LogRecordType::kUpdate) {
-      SMDB_RETURN_IF_ERROR(db_->txn().ApplyUndoUpdate(performer, rec, &eng));
-    } else {
-      SMDB_RETURN_IF_ERROR(db_->txn().ApplyUndoIndexOp(performer, rec, &eng));
-    }
-    ++ctx.out.undo_applied;
-  }
+  out->to_undo = std::move(to_undo);
+  out->clr_slots = std::move(clr_slots);
+  out->clr_keys = std::move(clr_keys);
   return Status::Ok();
 }
 
@@ -608,6 +650,10 @@ Status RecoveryManager::TagScanUndo(Ctx& ctx) {
         if (img.tag == kTagNone) continue;
         NodeId tagged = NodeOfTag(img.tag);
         if (!ctx.dead_set.contains(tagged)) continue;
+        // A tag minted after the crash (usn above the cutoff) belongs to a
+        // restarted node's new traffic, not to this recovery (lazy drains
+        // only — eager scans run before any restart).
+        if (img.usn > ctx.tag_scan_usn_cutoff) continue;
         if (!seen_rids.insert(rid).second) continue;
         HeapCand c;
         c.rid = rid;
@@ -621,6 +667,7 @@ Status RecoveryManager::TagScanUndo(Ctx& ctx) {
         if (ref.entry.tag == kTagNone) continue;
         NodeId tagged = NodeOfTag(ref.entry.tag);
         if (!ctx.dead_set.contains(tagged)) continue;
+        if (ref.entry.usn > ctx.tag_scan_usn_cutoff) continue;
         if (!seen_slots.insert({ref.leaf, ref.slot}).second) continue;
         IdxCand c;
         c.ref = ref;
@@ -843,6 +890,11 @@ Status RecoveryManager::RecoverLockTable(Ctx& ctx) {
 
 Result<RecoveryOutcome> RecoveryManager::Run(
     const std::vector<NodeId>& crashed) {
+  // A crash during the Recovering window supersedes the previous on-demand
+  // recovery: its undischarged obligations are re-derived from stable logs
+  // and the transaction table by this run (whole-machine reboots and the
+  // eager baselines recover everything themselves).
+  if (db_->on_demand() != nullptr) db_->on_demand()->Reset();
   Ctx ctx;
   ctx.threads = std::max<uint32_t>(1, db_->config().recovery.recovery_threads);
   if (ctx.threads > 1 &&
@@ -906,6 +958,15 @@ Result<RecoveryOutcome> RecoveryManager::Run(
         sibling_aborts.insert(sib);
       }
     }
+  }
+  // Under on-demand recovery the sibling rollbacks would interleave their
+  // first-touch discharges (and the fresh USNs those allocate) between the
+  // eager prefix and the lazy remainder — a different allocation order than
+  // the eager pass, which runs these aborts after *all* recovery undo.
+  // Crashed parallel groups are rare; drain first so the rollback runs on
+  // fully recovered state in the eager order and stays digest-identical.
+  if (!sibling_aborts.empty() && db_->on_demand() != nullptr) {
+    SMDB_RETURN_IF_ERROR(db_->on_demand()->DrainAll());
   }
   for (TxnId sib : sibling_aborts) {
     SMDB_RETURN_IF_ERROR(db_->txn().Abort(db_->txn().Find(sib)));

@@ -41,6 +41,7 @@ class RecoveryManager {
   Result<RecoveryOutcome> Run(const std::vector<NodeId>& crashed);
 
  private:
+  friend class OnDemandRecovery;
   struct Ctx {
     std::vector<NodeId> crashed;
     std::vector<NodeId> survivors;
@@ -66,6 +67,17 @@ class RecoveryManager {
     std::set<TxnId> volatile_finished;
     RecoveryOutcome out;
     size_t rr = 0;
+
+    /// Set while collecting the on-demand (instant-recovery) eager prefix:
+    /// entry-level redo and the stable-log undo are deferred to lazy
+    /// per-object discharge instead of applied here.
+    bool lazy = false;
+    /// Tag-scan guard for lazy discharge: a tag whose entry USN exceeds
+    /// the cutoff was written by post-crash traffic (a restarted node's
+    /// new transactions) and is not this recovery's business. UINT64_MAX
+    /// (no-op) for eager passes; OnDemandRecovery pins it to the
+    /// crash-time USN so the deferred tag scan stays sound.
+    uint64_t tag_scan_usn_cutoff = UINT64_MAX;
 
     /// recovery_threads from the database config, clamped to >= 1. 1 is
     /// the serial pipeline (today's exact performer assignment); W > 1
@@ -106,6 +118,28 @@ class RecoveryManager {
   /// survivor's full log and every crashed node's stable log, guarded by
   /// USN comparison (idempotent, order-free).
   Status ReplayLogsWithGuard(Ctx& ctx);
+
+  /// Collect half of the redo pass: every redo-relevant record (lsn >
+  /// checkpoint) from every reachable log, sorted by global USN. Pure
+  /// host-side log reads.
+  Status CollectRedoRecords(Ctx& ctx, std::vector<LogRecord>* out);
+  /// Apply half: structural records first (via NextSurvivor), then
+  /// entry-level records in the list's (USN) order. With ctx.lazy set the
+  /// entry-level half is skipped — OnDemandRecovery owns those records.
+  Status ApplyRedoRecords(Ctx& ctx, const std::vector<LogRecord>& records);
+
+  /// Stable-log undo obligations, split out so the on-demand path can
+  /// stash them and discharge per object.
+  struct UndoWork {
+    /// Non-CLR records of uncommitted dead transactions, reverse-USN order.
+    std::vector<LogRecord> to_undo;
+    /// CLR maps for engagement pre-seeding (see UndoCrashedFromStableLogs).
+    std::map<uint64_t, std::pair<TxnId, RecordId>> clr_slots;
+    std::map<uint64_t, std::pair<TxnId, std::pair<uint32_t, uint64_t>>>
+        clr_keys;
+  };
+  /// Collect half of the undo pass (pure host-side log reads).
+  Status CollectUndoWork(Ctx& ctx, UndoWork* out);
 
   /// Undoes uncommitted dead work found in *any* stable log — stolen
   /// updates and pre-crash aborts whose CLRs were lost. The scan must cover

@@ -28,6 +28,7 @@ RecoveryConfig CrashScheduleFuzzer::EffectiveProtocol(
     RecoveryConfig protocol) const {
   protocol.disable_undo_tagging =
       protocol.disable_undo_tagging || opts_.disable_undo_tagging;
+  protocol.on_demand = protocol.on_demand || opts_.on_demand;
   if (opts_.group_commit) {
     protocol.group_commit = true;
     if (opts_.group_commit_window_ns != 0) {
@@ -45,6 +46,14 @@ FuzzVerdict CrashScheduleFuzzer::RunCase(const FuzzCase& fuzz_case,
   protocol = EffectiveProtocol(std::move(protocol));
   HarnessConfig base = MakeHarnessConfig(fuzz_case, protocol);
   base.capture_digests = opts_.recovery_threads > 1;
+  if (protocol.on_demand) {
+    // Exercise the sweeper alongside first-touch discharge. The parallel
+    // differential compares digests taken right after each recovery, so
+    // those runs drain immediately instead (collapsing the Recovering
+    // window makes lazy and eager runs step-comparable).
+    base.pump_recovery_per_step = 2;
+    base.drain_recovery_immediately = base.capture_digests;
+  }
   Harness h(base);
   auto report = h.Run();
   ++stats_.runs;
@@ -284,6 +293,7 @@ std::string CrashScheduleFuzzer::ReplayJson(const FuzzFailure& failure,
     doc.Set("group_commit_max_batch",
             json::Value::Uint(failure.protocol.group_commit_max_batch));
   }
+  doc.Set("on_demand", json::Value::Bool(failure.protocol.on_demand));
   doc.Set("forensics_enabled", json::Value::Bool(opts_.forensics));
   doc.Set("trace_capacity", json::Value::Uint(opts_.trace_capacity));
   doc.Set("case", shrunk.ToJson());
@@ -329,6 +339,9 @@ Result<CrashScheduleFuzzer::ReplayDoc> CrashScheduleFuzzer::ParseReplay(
       out.protocol.group_commit_max_batch = static_cast<uint32_t>(batch);
     }
   }
+  // Absent in documents that predate on-demand recovery: off.
+  out.on_demand = doc.GetBool("on_demand");
+  out.protocol.on_demand = out.on_demand;
   // Absent in documents that predate the observability layer: defaults.
   if (doc.Find("forensics_enabled") != nullptr) {
     out.forensics_enabled = doc.GetBool("forensics_enabled");

@@ -100,6 +100,12 @@ class CrashScheduleFuzzer {
     /// Pipeline knobs when group_commit is set (0 = keep the defaults).
     uint64_t group_commit_window_ns = 0;
     uint32_t group_commit_max_batch = 0;
+    /// Run every protocol with on-demand (instant) recovery: the crash-time
+    /// pass only runs the eager prefix, traffic resumes in the Recovering
+    /// state, and obligations discharge on first touch / via the harness
+    /// sweeper. Orthogonal to protocol identity — the same IFA predicates
+    /// must hold.
+    bool on_demand = false;
     /// On failure, re-run the shrunk reproducer with event tracing on and
     /// embed a bounded forensic report (trace tails, the offending
     /// object's log chain, lock state, tag-scan decisions) in the replay
@@ -151,6 +157,9 @@ class CrashScheduleFuzzer {
     bool group_commit = false;
     uint64_t group_commit_window_ns = 0;
     uint32_t group_commit_max_batch = 0;
+    /// On-demand recovery flag of the failing run (absent in older
+    /// documents: off).
+    bool on_demand = false;
     /// Observability settings of the producing campaign (absent in older
     /// documents: forensics on, default capacity).
     bool forensics_enabled = true;

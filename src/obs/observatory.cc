@@ -164,6 +164,10 @@ void Observatory::OnRecoveryEnd(SimTime ts) {
   }
 }
 
+void Observatory::OnRecoveryDrained(SimTime ts) {
+  if (!crashes_.empty()) crashes_.back().drain_end_ts = ts;
+}
+
 LatencyReport Observatory::Snapshot() const {
   LatencyReport rep;
   rep.enabled = enabled_;
@@ -183,6 +187,7 @@ LatencyReport Observatory::Snapshot() const {
     ca.crash_ts = c.crash_ts;
     ca.nodes = c.nodes;
     ca.recovery_end_ts = c.recovery_end_ts;
+    ca.drain_end_ts = c.drain_end_ts;
     ca.saw_commit_after = c.saw_commit;
     ca.first_commit_ts = c.first_commit_ts;
     ca.node_ttfc = c.node_ttfc;

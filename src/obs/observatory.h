@@ -100,6 +100,10 @@ class Observatory {
   /// resolution so resolved commits count as through-crash.
   void OnRecoveryStart(const std::vector<NodeId>& crashed, SimTime ts);
   void OnRecoveryEnd(SimTime ts);
+  /// On-demand recovery: the last lazy obligation of the most recent crash
+  /// was discharged (Recovering -> fully recovered). No-op when no crash
+  /// record is open for draining.
+  void OnRecoveryDrained(SimTime ts);
 
   // ---- Export ----------------------------------------------------------
 
@@ -114,6 +118,7 @@ class Observatory {
     SimTime crash_ts = 0;
     std::vector<NodeId> nodes;
     SimTime recovery_end_ts = 0;
+    SimTime drain_end_ts = 0;  ///< on-demand: last lazy obligation gone
     bool open = true;  ///< recovery still running
     bool saw_commit = false;
     SimTime first_commit_ts = 0;

@@ -51,6 +51,7 @@ json::Value CrashAvailability::ToJson() const {
   for (NodeId n : nodes) crashed.Append(json::Value::Uint(n));
   obj.Set("nodes", std::move(crashed));
   obj.Set("recovery_end_ts_ns", json::Value::Uint(recovery_end_ts));
+  obj.Set("drain_end_ts_ns", json::Value::Uint(drain_end_ts));
   obj.Set("saw_commit_after", json::Value::Bool(saw_commit_after));
   obj.Set("ttfc_ns", json::Value::Uint(ttfc_ns()));
   json::Value per_node = json::Value::Array();

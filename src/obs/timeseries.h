@@ -111,6 +111,12 @@ struct CrashAvailability {
   SimTime crash_ts = 0;
   std::vector<NodeId> nodes;
   SimTime recovery_end_ts = 0;
+  /// On-demand recovery only: when the last lazy obligation was discharged
+  /// (first touch, sweeper, or drain). 0 when recovery was fully eager —
+  /// the eager pass leaves nothing pending. recovery_end_ts then marks just
+  /// the eager crash-time prefix, so (drain_end_ts - recovery_end_ts) is
+  /// the span the database served traffic while still Recovering.
+  SimTime drain_end_ts = 0;
 
   /// First commit acknowledged anywhere after the crash fired. Resolved
   /// pending commits (crash-time group-commit resolution) count — they are

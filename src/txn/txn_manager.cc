@@ -165,6 +165,7 @@ Result<std::vector<uint8_t>> TxnManager::Read(Transaction* txn, RecordId rid,
   uint64_t name = RecordLockName(rid);
   bool held_before = txn->granted_locks.contains(name);
   SMDB_RETURN_IF_ERROR(AcquireLock(txn, name, LockMode::kShared));
+  if (touch_record_) SMDB_RETURN_IF_ERROR(touch_record_(txn->node(), rid));
   SMDB_ASSIGN_OR_RETURN(SlotImage img, records_->ReadSlot(txn->node(), rid));
   ++stats_.reads;
   if (isolation == Isolation::kCursorStability && !held_before) {
@@ -178,6 +179,7 @@ Result<std::vector<uint8_t>> TxnManager::Read(Transaction* txn, RecordId rid,
 }
 
 Result<std::vector<uint8_t>> TxnManager::DirtyRead(NodeId node, RecordId rid) {
+  if (touch_record_) SMDB_RETURN_IF_ERROR(touch_record_(node, rid));
   SMDB_ASSIGN_OR_RETURN(SlotImage img, records_->ReadSlot(node, rid));
   return img.data;
 }
@@ -253,6 +255,7 @@ Status TxnManager::Update(Transaction* txn, RecordId rid,
   }
   SMDB_RETURN_IF_ERROR(AcquireLock(txn, RecordLockName(rid),
                                    LockMode::kExclusive));
+  if (touch_record_) SMDB_RETURN_IF_ERROR(touch_record_(txn->node(), rid));
   SMDB_RETURN_IF_ERROR(DoUpdate(txn, rid, value, /*is_clr=*/false, 0));
   txn->updated_records.push_back(rid);
   ++stats_.updates;
@@ -264,6 +267,9 @@ Status TxnManager::IndexInsert(Transaction* txn, uint64_t key,
                                RecordId value) {
   SMDB_RETURN_IF_ERROR(AcquireLock(txn, KeyLockName(index_->tree_id(), key),
                                    LockMode::kExclusive));
+  if (touch_key_) {
+    SMDB_RETURN_IF_ERROR(touch_key_(txn->node(), index_->tree_id(), key));
+  }
   uint16_t tag =
       config_.undo_tagging() ? TagForNode(txn->node()) : kTagNone;
   SMDB_RETURN_IF_ERROR(
@@ -278,6 +284,9 @@ Status TxnManager::IndexInsert(Transaction* txn, uint64_t key,
 Status TxnManager::IndexDelete(Transaction* txn, uint64_t key) {
   SMDB_RETURN_IF_ERROR(AcquireLock(txn, KeyLockName(index_->tree_id(), key),
                                    LockMode::kExclusive));
+  if (touch_key_) {
+    SMDB_RETURN_IF_ERROR(touch_key_(txn->node(), index_->tree_id(), key));
+  }
   uint16_t tag =
       config_.undo_tagging() ? TagForNode(txn->node()) : kTagNone;
   SMDB_RETURN_IF_ERROR(
@@ -293,6 +302,9 @@ Result<std::optional<RecordId>> TxnManager::IndexLookup(Transaction* txn,
                                                         uint64_t key) {
   SMDB_RETURN_IF_ERROR(AcquireLock(txn, KeyLockName(index_->tree_id(), key),
                                    LockMode::kShared));
+  if (touch_key_) {
+    SMDB_RETURN_IF_ERROR(touch_key_(txn->node(), index_->tree_id(), key));
+  }
   return index_->Lookup(txn->node(), key);
 }
 
@@ -362,6 +374,17 @@ Status TxnManager::FinishCommit(Transaction* txn) {
   if (config_.undo_tagging()) {
     std::set<RecordId> seen(txn->updated_records.begin(),
                             txn->updated_records.end());
+    // During on-demand recovery, discharge each object's lazy obligations
+    // before clearing its tag — a tag clear must never race with a pending
+    // redo/undo for the same object.
+    if (touch_record_) {
+      for (RecordId rid : seen) SMDB_RETURN_IF_ERROR(touch_record_(node, rid));
+    }
+    if (touch_key_) {
+      for (const auto& [tree, key] : txn->index_keys) {
+        SMDB_RETURN_IF_ERROR(touch_key_(node, tree, key));
+      }
+    }
     for (RecordId rid : seen) {
       LineAddr line = records_->SlotLine(rid);
       SMDB_RETURN_IF_ERROR(machine_->GetLine(node, line));
@@ -566,6 +589,19 @@ Status TxnManager::Abort(Transaction* txn) {
       ops.push_back(rec);
     }
   });
+  // During on-demand recovery, discharge lazy obligations on every object
+  // this rollback will touch, so the undo's before-images land on fully
+  // recovered state.
+  for (const LogRecord& rec : ops) {
+    if (rec.type == LogRecordType::kUpdate) {
+      if (touch_record_) {
+        SMDB_RETURN_IF_ERROR(touch_record_(node, rec.update().rid));
+      }
+    } else if (touch_key_) {
+      SMDB_RETURN_IF_ERROR(
+          touch_key_(node, rec.index_op().tree_id, rec.index_op().key));
+    }
+  }
   UndoEngagement eng;
   for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
     if (it->type == LogRecordType::kUpdate) {

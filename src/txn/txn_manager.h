@@ -196,6 +196,17 @@ class TxnManager {
 
   void AddObserver(TxnObserver* obs) { observers_.push_back(obs); }
 
+  /// On-demand recovery's first-touch hooks (Database wiring; unset = no
+  /// hooks, zero overhead). When set, every transactional access to a
+  /// record / index key calls the hook *before* touching the object, so
+  /// lazy recovery can discharge the object's pending obligations first.
+  using TouchRecordFn = std::function<Status(NodeId, RecordId)>;
+  using TouchKeyFn = std::function<Status(NodeId, uint32_t, uint64_t)>;
+  void SetRecoveryTouch(TouchRecordFn rec, TouchKeyFn key) {
+    touch_record_ = std::move(rec);
+    touch_key_ = std::move(key);
+  }
+
   TxnManagerStats& stats() { return stats_; }
   const RecoveryConfig& config() const { return config_; }
 
@@ -250,6 +261,8 @@ class TxnManager {
   Observatory* obs_ = nullptr;         // may be null (observatory off)
   RecoveryConfig config_;
   std::set<TxnId> resolved_commit_ids_;
+  TouchRecordFn touch_record_;  // unset when on-demand recovery is off
+  TouchKeyFn touch_key_;
 
   std::map<TxnId, std::unique_ptr<Transaction>> txns_;
   std::map<TxnId, uint64_t> waiting_for_;  // txn -> lock name being awaited

@@ -85,11 +85,16 @@ Result<HarnessReport> Harness::Run() {
       }
       for (NodeId n : to_crash) exec_->executor(n).OnCrash();
       SMDB_ASSIGN_OR_RETURN(RecoveryOutcome outcome, db_->Crash(to_crash));
+      if (config_.drain_recovery_immediately) {
+        SMDB_RETURN_IF_ERROR(db_->DrainRecovery());
+      }
       report.recoveries.push_back(outcome);
       if (config_.capture_digests) {
         report.digests.push_back(ComputeStateDigest(*db_));
       }
-      if (config_.verify) {
+      // While obligations are still pending the oracle would read
+      // unrecovered state; the final (post-drain) VerifyAll covers the run.
+      if (config_.verify && !db_->RecoveringActive()) {
         Status v = checker_->VerifyAll();
         if (!v.ok()) {
           report.verify_status = v;
@@ -112,9 +117,18 @@ Result<HarnessReport> Harness::Run() {
 
     if (!exec_->StepOnce()) break;
 
+    if (config_.pump_recovery_per_step > 0 && db_->RecoveringActive()) {
+      SMDB_ASSIGN_OR_RETURN(int swept,
+                            db_->PumpRecovery(config_.pump_recovery_per_step));
+      (void)swept;
+    }
     if (config_.steal_flush_prob > 0.0 &&
         rng_.Bernoulli(config_.steal_flush_prob)) {
-      SMDB_RETURN_IF_ERROR(StealFlushOne());
+      // The daemon pauses while Recovering: a steal flush could overwrite a
+      // stable image that pending lazy redo still needs to load from. (The
+      // Bernoulli draw stays unconditional so the rng stream matches runs
+      // without the pause.)
+      if (!db_->RecoveringActive()) SMDB_RETURN_IF_ERROR(StealFlushOne());
     }
     if (config_.checkpoint_every_steps > 0 &&
         exec_->steps() % config_.checkpoint_every_steps == 0) {
@@ -131,6 +145,10 @@ Result<HarnessReport> Harness::Run() {
     report.skipped_crashes.push_back({next_crash, config_.crashes[next_crash],
                                       SkippedCrash::Reason::kNeverReached});
   }
+
+  // The workload drained; discharge whatever the traffic never touched so
+  // the end state is fully recovered before verification and digests.
+  SMDB_RETURN_IF_ERROR(db_->DrainRecovery());
 
   if (config_.verify) {
     report.verify_status = checker_->VerifyAll();

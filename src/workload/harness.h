@@ -30,6 +30,17 @@ struct HarnessConfig {
   /// and any node restart) into HarnessReport::digests. The differential
   /// parallel-recovery oracle compares these across thread counts.
   bool capture_digests = false;
+  /// On-demand recovery only: drain every lazy obligation right after the
+  /// crash-time prefix returns, before digests, verification, and restart.
+  /// Collapses the Recovering window to nothing — the run becomes
+  /// step-by-step comparable with an eager run (the differential tests'
+  /// mode). Off = obligations discharge on first touch / via the sweeper.
+  bool drain_recovery_immediately = false;
+  /// On-demand recovery only: background-sweeper budget — discharge up to
+  /// this many pending objects after every workload step while the
+  /// Recovering state is active (0 = no sweeping; first touch and the
+  /// final drain do all the work).
+  int pump_recovery_per_step = 0;
   /// Element i overrides recovery_threads for the i-th *fired* recovery
   /// (skipped crash plans don't consume an entry). Recoveries beyond the
   /// vector keep the config's value. Lets the equivalence tests parallelise

@@ -241,6 +241,23 @@ TEST(FuzzSmoke, GroupCommitKnobsRoundTripThroughReplays) {
   EXPECT_EQ(doc->protocol.group_commit_max_batch, 16u);
 }
 
+TEST(FuzzSmoke, RebootAllSurvivesSplitHeavySchedules) {
+  // Split-heavy slice of the ROADMAP item 5 regression: BaselineRebootAll
+  // reloads the whole stable database, so every B+-tree split must have
+  // been forced durably at structural commit — the sampled cases are
+  // re-biased towards index traffic so splits happen before (and between)
+  // the sampled crash schedules' whole-machine reboots.
+  CrashScheduleFuzzer fuzzer;
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    FuzzCase fc = SampleFuzzCase(seed);
+    fc.workload.index_op_ratio = 0.6;
+    fc.workload.index_key_space = 64;  // dense keys: splits early and often
+    FuzzVerdict v = fuzzer.RunCase(fc, RecoveryConfig::BaselineRebootAll());
+    ASSERT_FALSE(v.failed)
+        << "seed " << seed << ": [" << v.kind << "] " << v.detail;
+  }
+}
+
 TEST(FuzzSmoke, EnvDrivenCampaignMatrix) {
   // CI hook: SMDB_FUZZ_GROUP_COMMIT=1 / SMDB_FUZZ_JOBS=N re-run a slice of
   // the default campaign in the sanitizer build's configuration without a
@@ -249,6 +266,8 @@ TEST(FuzzSmoke, EnvDrivenCampaignMatrix) {
   CrashScheduleFuzzer::Options opts;
   const char* gc = std::getenv("SMDB_FUZZ_GROUP_COMMIT");
   opts.group_commit = gc != nullptr && std::string(gc) == "1";
+  const char* od = std::getenv("SMDB_FUZZ_ON_DEMAND");
+  opts.on_demand = od != nullptr && std::string(od) == "1";
   const char* jobs_env = std::getenv("SMDB_FUZZ_JOBS");
   unsigned jobs = 1;
   if (jobs_env != nullptr) {

@@ -7,6 +7,7 @@
 #include "core/database.h"
 #include "core/ifa_checker.h"
 #include "core/recovery_manager.h"
+#include "workload/harness.h"
 
 namespace smdb {
 namespace {
@@ -544,6 +545,45 @@ TEST(RecoveryEdgeTest, GroupCommitRebootAllWithPendingBatch) {
   ASSERT_TRUE(sq.ok());
   EXPECT_EQ(sp->data, Value(0));
   EXPECT_EQ(sq->data, Value(0x99));
+}
+
+// ROADMAP item 5 regression: RebootAll with early_commit_structural=false
+// never forced split-touched pages, so a whole-machine reload restored torn
+// B+-tree routing ("Corruption: descent reached a non-tree page"). The
+// split fix forces every page a split touched (WAL-gated, leaf first) at
+// structural commit. This is the distilled schedule that reproduced it:
+// index-heavy bench workload, two whole-machine reboots mid-run. Below
+// ~60 txns/node the tree stays shallow enough that the torn routing never
+// lands under a descent; 60 and 75 both corrupted before the fix.
+TEST(RebootAllSplitDurability, SurvivesWholeMachineReloadUnderSplitLoad) {
+  for (size_t txns_per_node : {60u, 75u}) {
+    HarnessConfig cfg;
+    cfg.db.machine.num_nodes = 8;
+    cfg.db.recovery = RecoveryConfig::BaselineRebootAll();
+    cfg.num_records = 256;
+    cfg.workload.txns_per_node = txns_per_node;
+    cfg.workload.ops_per_txn = 8;
+    cfg.workload.write_ratio = 0.5;
+    cfg.workload.index_op_ratio = 0.15;
+    cfg.workload.seed = 42;
+    cfg.steal_flush_prob = 0.01;
+    cfg.seed = 42 ^ 0xBEEF;
+    uint64_t steps = txns_per_node * 8 * 8;
+    cfg.crashes = {CrashPlan{steps / 2, {2}, true},
+                   CrashPlan{steps * 3 / 4, {4, 5}, true}};
+    Harness h(cfg);
+    auto report = h.Run();
+    ASSERT_TRUE(report.ok())
+        << txns_per_node << " txns/node: " << report.status().ToString();
+    EXPECT_TRUE(report->verify_status.ok())
+        << txns_per_node << " txns/node: "
+        << report->verify_status.ToString();
+    EXPECT_GT(report->btree.splits, 0u)
+        << "schedule must actually split, or the regression is untested";
+    for (const auto& r : report->recoveries) {
+      EXPECT_TRUE(r.whole_machine_restart);
+    }
+  }
 }
 
 }  // namespace

@@ -39,6 +39,7 @@ struct Flags {
   bool group_commit = false;
   uint64_t group_commit_window = 0;
   uint64_t group_commit_max_batch = 0;
+  bool on_demand = false;
   bool forensics = true;
   uint64_t trace_capacity = 0;  // 0 = keep the option default
   std::string stats_json;       // campaign summary path ("" = none)
@@ -71,6 +72,9 @@ void Usage() {
       "                        the protocol default)\n"
       "  --group-commit-max-batch=N size bound on a coalesced batch (0 =\n"
       "                        keep the protocol default)\n"
+      "  --on-demand-recovery  run every protocol with on-demand (instant)\n"
+      "                        recovery: traffic resumes in the Recovering\n"
+      "                        state and obligations discharge lazily\n"
       "  --no-shrink           keep the original failing schedule\n"
       "  --no-forensics        skip the traced forensic re-run of a shrunk\n"
       "                        failure (replay files omit \"forensics\")\n"
@@ -131,6 +135,8 @@ bool ParseFlag(Flags& f, const std::string& key, const std::string& val) {
   } else if (key == "--group-commit-max-batch") {
     if (!ParseUint(val, &f.group_commit_max_batch)) return false;
     f.group_commit = true;
+  } else if (key == "--on-demand-recovery") {
+    f.on_demand = true;
   } else if (key == "--no-shrink") {
     f.shrink = false;
   } else if (key == "--no-forensics") {
@@ -267,6 +273,7 @@ int Fuzz(const Flags& flags) {
   opts.group_commit_window_ns = flags.group_commit_window;
   opts.group_commit_max_batch =
       static_cast<uint32_t>(flags.group_commit_max_batch);
+  opts.on_demand = flags.on_demand;
   opts.forensics = flags.forensics;
   if (flags.trace_capacity != 0) {
     opts.trace_capacity = static_cast<uint32_t>(flags.trace_capacity);

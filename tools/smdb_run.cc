@@ -53,6 +53,13 @@ void Usage() {
       "  --checkpoint-every=N     steps between checkpoints (default 0)\n"
       "  --recovery-threads=N     worker streams for restart recovery\n"
       "                           (default 1 = serial)\n"
+      "  --on-demand-recovery     instant recovery: run only the eager\n"
+      "                           crash-time prefix, serve traffic in the\n"
+      "                           Recovering state, discharge obligations\n"
+      "                           on first touch / via the sweeper\n"
+      "  --pump-recovery=N        sweeper budget: discharge up to N pending\n"
+      "                           objects per workload step (default 1\n"
+      "                           when --on-demand-recovery is set)\n"
       "  --group-commit           coalesce commit + eager-LBM forces into\n"
       "                           batched appends (ack after the force)\n"
       "  --group-commit-window=NS coalescing window in sim-ns\n"
@@ -132,6 +139,11 @@ bool ParseFlag(Flags& f, const std::string& arg) {
     unsigned long threads = std::stoul(val);
     if (threads == 0) return false;
     cfg.db.recovery.recovery_threads = static_cast<uint32_t>(threads);
+  } else if (key == "--on-demand-recovery") {
+    cfg.db.recovery.on_demand = true;
+    if (cfg.pump_recovery_per_step == 0) cfg.pump_recovery_per_step = 1;
+  } else if (key == "--pump-recovery") {
+    cfg.pump_recovery_per_step = static_cast<int>(std::stoul(val));
   } else if (key == "--group-commit") {
     cfg.db.recovery.group_commit = true;
   } else if (key == "--group-commit-window") {
