@@ -26,11 +26,12 @@
 namespace smdb::bench {
 namespace {
 
-// Raised from the 50 the RebootAll split-durability defect (ROADMAP item 5,
-// fixed) forced; 70 stays just below a *different* latent defect — eager
-// SelectiveRedo reports "duplicate live index entry" at >= 75 txns/node
-// (ROADMAP item 5b) — so the committed baseline is verification-clean.
-constexpr uint64_t kDefaultTxnsPerNode = 70;
+// Raised twice as recovery defects were root-caused: 50 -> 70 with the
+// RebootAll split-durability fix (ROADMAP item 5), 70 -> 100 with the
+// eager-SelectiveRedo spliced-page fix (ROADMAP item 5b: a partially lost
+// split leaf resurrected moved keys as duplicate live entries at >= 75
+// txns/node). The split-heavy tail is now verification-clean.
+constexpr uint64_t kDefaultTxnsPerNode = 100;
 constexpr uint64_t kOpsPerTxn = 8;
 constexpr uint16_t kNodes = 8;
 

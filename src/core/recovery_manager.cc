@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/atomic_util.h"
 #include "core/database.h"
 #include "core/on_demand.h"
 #include "core/stable_state.h"
@@ -243,11 +244,13 @@ Status RecoveryManager::ApplyRedoUpdate(Ctx& ctx, NodeId performer,
   const UpdatePayload& u = rec.update();
   RecordStore& rs = db_->records();
   SMDB_ASSIGN_OR_RETURN(SlotImage cur, rs.ReadSlot(performer, u.rid));
+  // Atomic: the on-demand sweeper batches disjoint-page redo applies onto
+  // pool threads, which share these counters.
   if (cur.usn >= u.usn) {
-    ++ctx.out.redo_skipped;
+    AtomicInc(ctx.out.redo_skipped);
     return Status::Ok();
   }
-  ++ctx.out.redo_applied;
+  AtomicInc(ctx.out.redo_applied);
   uint16_t tag = kTagNone;
   if (!u.is_clr && db_->config().recovery.undo_tagging() &&
       ctx.uncommitted_ids.contains(rec.txn)) {
@@ -313,7 +316,11 @@ Status RecoveryManager::ApplyRedoStructural(Ctx& ctx, NodeId performer,
     uint64_t cur_lsn = 0;
     Status s = db_->machine().SnoopRead(
         *base + PageLayout::kPageLsnOffset, &cur_lsn, 8);
-    if (s.ok() && cur_lsn >= sp.usn) {
+    // A spliced page's surviving Page-LSN vouches only for the lines that
+    // survived — a reinstalled pre-split entry line can hide behind a
+    // post-split header. Install the image unconditionally; the sorted
+    // entry-level replay re-applies anything newer.
+    if (s.ok() && cur_lsn >= sp.usn && !ctx.spliced_pages.contains(page)) {
       ++ctx.out.redo_skipped;
       continue;  // this or a later state is already in place
     }

@@ -68,6 +68,14 @@ class RecoveryManager {
     RecoveryOutcome out;
     size_t rr = 0;
 
+    /// Pages whose lost-line reinstall spliced stable-image lines into a
+    /// partially *surviving* page. Such a page can pair a post-split header
+    /// (surviving Page-LSN) with pre-split entry lines (reinstalled), so
+    /// the structural redo guard must not trust its Page-LSN: entries a
+    /// split moved away exist only in the structural page image, and
+    /// skipping it would resurrect them as duplicate live keys.
+    std::set<PageId> spliced_pages;
+
     /// Set while collecting the on-demand (instant-recovery) eager prefix:
     /// entry-level redo and the stable-log undo are deferred to lazy
     /// per-object discharge instead of applied here.

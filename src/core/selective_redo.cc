@@ -34,6 +34,8 @@ Status RecoveryManager::RunSelectiveRedo(Ctx& ctx) {
   // ProbeLine, i.e. "cache miss with I/O disabled" — is what decides
   // lost-ness inside ReinstallLostLines). On-demand defers the heap pages.
   SMDB_RETURN_IF_ERROR(TimedPhase(ctx, RecoveryPhase::kReload, [&] {
+    const int lines_per_page = static_cast<int>(
+        db_->buffers().page_size() / db_->machine().line_size());
     auto reinstall = [&](const std::vector<PageId>& pages) -> Status {
       for (PageId p : pages) {
         SMDB_ASSIGN_OR_RETURN(
@@ -41,6 +43,10 @@ Status RecoveryManager::RunSelectiveRedo(Ctx& ctx) {
         if (n > 0) {
           ctx.out.lines_reinstalled += n;
           ++ctx.out.pages_reloaded;
+          // A partial reinstall splices stable-image lines into surviving
+          // ones; the page's surviving Page-LSN no longer describes every
+          // line, so structural redo must not skip on it (see Ctx).
+          if (n < lines_per_page) ctx.spliced_pages.insert(p);
         }
       }
       return Status::Ok();

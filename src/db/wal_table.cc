@@ -3,6 +3,7 @@
 namespace smdb {
 
 void WalTable::NoteUpdate(PageId page, NodeId node, Lsn lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto& row = rows_[page];
   if (row.empty()) row.assign(num_nodes_, kInvalidLsn);
   row[node] = lsn;
@@ -11,6 +12,7 @@ void WalTable::NoteUpdate(PageId page, NodeId node, Lsn lsn) {
 std::vector<std::pair<NodeId, Lsn>> WalTable::Requirements(
     PageId page) const {
   std::vector<std::pair<NodeId, Lsn>> out;
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = rows_.find(page);
   if (it == rows_.end()) return out;
   for (NodeId n = 0; n < num_nodes_; ++n) {
@@ -19,9 +21,13 @@ std::vector<std::pair<NodeId, Lsn>> WalTable::Requirements(
   return out;
 }
 
-void WalTable::ClearPage(PageId page) { rows_.erase(page); }
+void WalTable::ClearPage(PageId page) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rows_.erase(page);
+}
 
 void WalTable::OnNodeCrash(NodeId node) {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto& [page, row] : rows_) {
     (void)page;
     if (!row.empty()) row[node] = kInvalidLsn;

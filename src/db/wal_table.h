@@ -1,6 +1,7 @@
 #ifndef SMDB_DB_WAL_TABLE_H_
 #define SMDB_DB_WAL_TABLE_H_
 
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -37,6 +38,9 @@ class WalTable {
 
  private:
   uint16_t num_nodes_;
+  /// Guards rows_: concurrent transaction steps note updates to distinct
+  /// pages (and may race on the map structure even when the pages differ).
+  mutable std::mutex mu_;
   std::unordered_map<PageId, std::vector<Lsn>> rows_;
 };
 

@@ -45,6 +45,9 @@ FuzzVerdict CrashScheduleFuzzer::RunCase(const FuzzCase& fuzz_case,
                                          RecoveryConfig protocol) {
   protocol = EffectiveProtocol(std::move(protocol));
   HarnessConfig base = MakeHarnessConfig(fuzz_case, protocol);
+  if (opts_.execution_threads > 1) {
+    base.exec.execution_threads = opts_.execution_threads;
+  }
   base.capture_digests = opts_.recovery_threads > 1;
   if (protocol.on_demand) {
     // Exercise the sweeper alongside first-touch discharge. The parallel
@@ -294,6 +297,7 @@ std::string CrashScheduleFuzzer::ReplayJson(const FuzzFailure& failure,
             json::Value::Uint(failure.protocol.group_commit_max_batch));
   }
   doc.Set("on_demand", json::Value::Bool(failure.protocol.on_demand));
+  doc.Set("execution_threads", json::Value::Uint(opts_.execution_threads));
   doc.Set("forensics_enabled", json::Value::Bool(opts_.forensics));
   doc.Set("trace_capacity", json::Value::Uint(opts_.trace_capacity));
   doc.Set("case", shrunk.ToJson());
@@ -342,6 +346,9 @@ Result<CrashScheduleFuzzer::ReplayDoc> CrashScheduleFuzzer::ParseReplay(
   // Absent in documents that predate on-demand recovery: off.
   out.on_demand = doc.GetBool("on_demand");
   out.protocol.on_demand = out.on_demand;
+  // Absent in documents that predate execution sharding: serial.
+  uint64_t exec_w = doc.GetUint("execution_threads");
+  out.execution_threads = exec_w == 0 ? 1 : static_cast<uint32_t>(exec_w);
   // Absent in documents that predate the observability layer: defaults.
   if (doc.Find("forensics_enabled") != nullptr) {
     out.forensics_enabled = doc.GetBool("forensics_enabled");

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -67,10 +68,11 @@ struct LatencyReport {
 };
 
 /// Aggregates latency, throughput, and availability signals from the
-/// instrumented subsystems. All emission sites run on the coordinator /
-/// harness thread (the same property the tracer leans on), so for a fixed
-/// seed every histogram and series is deterministic at any recovery /
-/// executor thread width.
+/// instrumented subsystems. Emission sites may fire from concurrent
+/// execution workers; a single latch serialises them. Every aggregate is
+/// order-insensitive (histogram buckets, ts-keyed series windows, keyed
+/// maps), so for a fixed seed the snapshot is deterministic at any
+/// recovery / executor thread width.
 class Observatory {
  public:
   Observatory(uint16_t num_nodes, ObsConfig config);
@@ -138,6 +140,11 @@ class Observatory {
 
   bool enabled_;
   ObsConfig config_;
+
+  /// Guards every mutable aggregate below. Held only for the duration of
+  /// one emission (no I/O, no callbacks), so it is leaf-level in the
+  /// system's lock order.
+  mutable std::mutex mu_;
 
   Histogram commit_latency_;
   Histogram abort_latency_;

@@ -4,6 +4,7 @@ namespace smdb {
 
 DirEntry& Directory::GetOrCreate(LineAddr line, NodeId home,
                                  uint32_t line_size) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto [it, inserted] = entries_.try_emplace(line);
   if (inserted) {
     it->second.home = home;
@@ -14,11 +15,13 @@ DirEntry& Directory::GetOrCreate(LineAddr line, NodeId home,
 }
 
 DirEntry* Directory::Find(LineAddr line) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = entries_.find(line);
   return it == entries_.end() ? nullptr : &it->second;
 }
 
 const DirEntry* Directory::Find(LineAddr line) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = entries_.find(line);
   return it == entries_.end() ? nullptr : &it->second;
 }

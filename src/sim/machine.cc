@@ -19,6 +19,7 @@ Machine::Machine(MachineConfig config) : config_(config) {
 }
 
 Addr Machine::AllocShared(size_t bytes) {
+  std::lock_guard<std::mutex> lk(alloc_mu_);
   Addr start = next_addr_;
   size_t lines = (bytes + config_.line_size - 1) / config_.line_size;
   next_addr_ += lines * config_.line_size;
@@ -26,6 +27,7 @@ Addr Machine::AllocShared(size_t bytes) {
 }
 
 Addr Machine::AllocLocal(NodeId node, size_t bytes) {
+  std::lock_guard<std::mutex> lk(alloc_mu_);
   Addr start = next_addr_;
   size_t lines = (bytes + config_.line_size - 1) / config_.line_size;
   for (size_t i = 0; i < lines; ++i) {
@@ -72,13 +74,14 @@ Status Machine::ReadLine(NodeId node, LineAddr line,
   if (!alive_[node]) return Status::NodeFailed("read from crashed node");
   DirEntry& e = Entry(line);
   if (e.lost) {
-    ++stats_.lost_line_references;
-    stats_.last_lost_reference = line;
+    AtomicInc(stats_.lost_line_references);
+    std::atomic_ref<LineAddr>(stats_.last_lost_reference)
+        .store(line, std::memory_order_relaxed);
     return Status::LineLost("read of lost line");
   }
   Cache& cache = caches_[node];
   if (e.cached_by(node)) {
-    ++stats_.local_hits;
+    AtomicInc(stats_.local_hits);
     Tick(node, config_.timing.cache_hit_ns);
     *data = &cache.Find(line)->data;
     return Status::Ok();
@@ -93,7 +96,7 @@ Status Machine::ReadLine(NodeId node, LineAddr line,
     SMDB_TRACE(tracer_, {.kind = TraceEventKind::kDowngrade,
                          .node = node,
                          .peer = e.owner,
-                         .ts = clocks_[node],
+                         .ts = NodeClock(node),
                          .a = line});
     Cache::Entry* owner_entry = caches_[e.owner].Find(line);
     assert(owner_entry != nullptr);
@@ -101,14 +104,14 @@ Status Machine::ReadLine(NodeId node, LineAddr line,
     cache.Insert(line, LineState::kShared, owner_entry->data);
     e.owner = kInvalidNode;
     e.sharers |= (1ULL << node);
-    ++stats_.downgrades;
-    ++stats_.remote_transfers;
+    AtomicInc(stats_.downgrades);
+    AtomicInc(stats_.remote_transfers);
     if (e.last_writer != kInvalidNode && e.last_writer != node) {
-      ++stats_.replications;
+      AtomicInc(stats_.replications);
       SMDB_TRACE(tracer_, {.kind = TraceEventKind::kReplication,
                            .node = node,
                            .peer = e.last_writer,
-                           .ts = clocks_[node],
+                           .ts = NodeClock(node),
                            .a = line});
     }
     Tick(node, config_.timing.remote_transfer_ns);
@@ -118,26 +121,27 @@ Status Machine::ReadLine(NodeId node, LineAddr line,
     assert(src != nullptr);
     cache.Insert(line, LineState::kShared, *src);
     e.sharers |= (1ULL << node);
-    ++stats_.remote_transfers;
+    AtomicInc(stats_.remote_transfers);
     if (e.last_writer != kInvalidNode && e.last_writer != node) {
-      ++stats_.replications;
+      AtomicInc(stats_.replications);
       SMDB_TRACE(tracer_, {.kind = TraceEventKind::kReplication,
                            .node = node,
                            .peer = e.last_writer,
-                           .ts = clocks_[node],
+                           .ts = NodeClock(node),
                            .a = line});
     }
     Tick(node, config_.timing.remote_transfer_ns);
   } else if (e.mem_valid) {
     cache.Insert(line, LineState::kShared, e.mem_data);
     e.sharers |= (1ULL << node);
-    ++stats_.memory_fetches;
+    AtomicInc(stats_.memory_fetches);
     Tick(node, config_.timing.memory_access_ns);
   } else {
     // No cached copy and stale/absent memory: only reachable after a crash,
     // and such lines are flagged lost during low-level recovery.
-    ++stats_.lost_line_references;
-    stats_.last_lost_reference = line;
+    AtomicInc(stats_.lost_line_references);
+    std::atomic_ref<LineAddr>(stats_.last_lost_reference)
+        .store(line, std::memory_order_relaxed);
     return Status::LineLost("no valid copy");
   }
   *data = &cache.Find(line)->data;
@@ -149,8 +153,9 @@ Status Machine::AcquireExclusive(NodeId node, LineAddr line,
   if (!alive_[node]) return Status::NodeFailed("access from crashed node");
   DirEntry& e = Entry(line);
   if (e.lost) {
-    ++stats_.lost_line_references;
-    stats_.last_lost_reference = line;
+    AtomicInc(stats_.lost_line_references);
+    std::atomic_ref<LineAddr>(stats_.last_lost_reference)
+        .store(line, std::memory_order_relaxed);
     return Status::LineLost("exclusive request for lost line");
   }
   Cache& cache = caches_[node];
@@ -169,17 +174,18 @@ Status Machine::AcquireExclusive(NodeId node, LineAddr line,
   } else {
     const std::vector<uint8_t>* src = CurrentData(e, line);
     if (src == nullptr) {
-      ++stats_.lost_line_references;
-    stats_.last_lost_reference = line;
+      AtomicInc(stats_.lost_line_references);
+    std::atomic_ref<LineAddr>(stats_.last_lost_reference)
+        .store(line, std::memory_order_relaxed);
       return Status::LineLost("no valid copy");
     }
     data = *src;
     if (e.sharers != 0 || e.owner != kInvalidNode) {
       cost = config_.timing.remote_transfer_ns;
-      ++stats_.remote_transfers;
+      AtomicInc(stats_.remote_transfers);
     } else {
       cost = config_.timing.memory_access_ns;
-      ++stats_.memory_fetches;
+      AtomicInc(stats_.memory_fetches);
     }
   }
 
@@ -195,10 +201,10 @@ Status Machine::AcquireExclusive(NodeId node, LineAddr line,
     SMDB_TRACE(tracer_, {.kind = TraceEventKind::kInvalidation,
                          .node = node,
                          .peer = s,
-                         .ts = clocks_[node],
+                         .ts = NodeClock(node),
                          .a = line});
     caches_[s].Erase(line);
-    ++stats_.invalidations;
+    AtomicInc(stats_.invalidations);
     if (e.last_writer == s && s != node) migrated = true;
     Tick(node, config_.timing.cpu_op_ns);
   }
@@ -207,11 +213,11 @@ Status Machine::AcquireExclusive(NodeId node, LineAddr line,
     migrated = true;  // dirty data now held solely by a different node
   }
   if (migrated) {
-    ++stats_.migrations;
+    AtomicInc(stats_.migrations);
     SMDB_TRACE(tracer_, {.kind = TraceEventKind::kMigration,
                          .node = node,
                          .peer = e.last_writer,
-                         .ts = clocks_[node],
+                         .ts = NodeClock(node),
                          .a = line});
   }
 
@@ -236,8 +242,9 @@ Status Machine::WriteSpan(NodeId node, LineAddr line, uint32_t offset,
       e.cached_by(node)) {
     // Write-broadcast: update every valid copy in place; all stay valid.
     if (e.lost) {
-      ++stats_.lost_line_references;
-    stats_.last_lost_reference = line;
+      AtomicInc(stats_.lost_line_references);
+    std::atomic_ref<LineAddr>(stats_.last_lost_reference)
+        .store(line, std::memory_order_relaxed);
       return Status::LineLost("write to lost line");
     }
     uint64_t sharers = e.sharers;
@@ -248,7 +255,7 @@ Status Machine::WriteSpan(NodeId node, LineAddr line, uint32_t offset,
       assert(ce != nullptr);
       std::memcpy(ce->data.data() + offset, data, len);
       if (s != node) {
-        ++stats_.broadcast_updates;
+        AtomicInc(stats_.broadcast_updates);
         Tick(node, config_.timing.cpu_op_ns);
       }
     }
@@ -275,7 +282,7 @@ Status Machine::WriteSpan(NodeId node, LineAddr line, uint32_t offset,
 
 Status Machine::Read(NodeId node, Addr addr, void* out, size_t len) {
   uint8_t* dst = static_cast<uint8_t*>(out);
-  ++stats_.reads;
+  AtomicInc(stats_.reads);
   while (len > 0) {
     LineAddr line = LineOf(addr);
     uint32_t offset = static_cast<uint32_t>(addr % config_.line_size);
@@ -292,7 +299,7 @@ Status Machine::Read(NodeId node, Addr addr, void* out, size_t len) {
 
 Status Machine::Write(NodeId node, Addr addr, const void* data, size_t len) {
   const uint8_t* src = static_cast<const uint8_t*>(data);
-  ++stats_.writes;
+  AtomicInc(stats_.writes);
   while (len > 0) {
     LineAddr line = LineOf(addr);
     uint32_t offset = static_cast<uint32_t>(addr % config_.line_size);
@@ -309,14 +316,15 @@ Status Machine::GetLine(NodeId node, LineAddr line) {
   if (!alive_[node]) return Status::NodeFailed("getline from crashed node");
   DirEntry& e = Entry(line);
   if (e.lost) {
-    ++stats_.lost_line_references;
-    stats_.last_lost_reference = line;
+    AtomicInc(stats_.lost_line_references);
+    std::atomic_ref<LineAddr>(stats_.last_lost_reference)
+        .store(line, std::memory_order_relaxed);
     return Status::LineLost("getline on lost line");
   }
-  SimTime now = clocks_[node];
+  SimTime now = NodeClock(node);
   SimTime grant = line_locks_.Acquire(line, node, now);
   SimTime wait = grant - now;
-  clocks_[node] = grant;
+  AtomicAdvance(clocks_[node], grant, 0);
   // Under write-invalidate the grant brings the line exclusive into the
   // local cache (the KSR-1 semantics). A write-broadcast machine has no
   // exclusive state: the lock itself provides the mutual exclusion and the
@@ -330,21 +338,21 @@ Status Machine::GetLine(NodeId node, LineAddr line) {
     s = AcquireExclusive(node, line, /*for_line_lock=*/true);
   }
   if (!s.ok()) {
-    line_locks_.Release(line, node, clocks_[node]);
+    line_locks_.Release(line, node, NodeClock(node));
     return s;
   }
   SimTime grant_cost = local_exclusive
                            ? config_.timing.line_lock_grant_ns
                            : config_.timing.line_lock_grant_ns;
   Tick(node, grant_cost);
-  ++stats_.line_lock_acquires;
-  stats_.line_lock_wait_ns += wait;
-  stats_.line_lock_total_ns += (clocks_[node] - now);
+  AtomicInc(stats_.line_lock_acquires);
+  AtomicInc(stats_.line_lock_wait_ns, wait);
+  AtomicInc(stats_.line_lock_total_ns, NodeClock(node) - now);
   return Status::Ok();
 }
 
 void Machine::ReleaseLine(NodeId node, LineAddr line) {
-  line_locks_.Release(line, node, clocks_[node]);
+  line_locks_.Release(line, node, NodeClock(node));
   Tick(node, config_.timing.cpu_op_ns);
 }
 

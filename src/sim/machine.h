@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/atomic_util.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "sim/cache.h"
@@ -160,8 +162,8 @@ class Machine {
   // ---------------------------------------------------------------------
   // Simulated time.
 
-  SimTime NodeClock(NodeId node) const { return clocks_[node]; }
-  void Tick(NodeId node, SimTime ns) { clocks_[node] += ns; }
+  SimTime NodeClock(NodeId node) const { return AtomicLoad(clocks_[node]); }
+  void Tick(NodeId node, SimTime ns) { AtomicInc(clocks_[node], ns); }
   /// Synchronises all live node clocks to the maximum (a barrier; used at
   /// the start and end of restart recovery).
   void SyncClocks();
@@ -226,6 +228,8 @@ class Machine {
   TraceRecorder* tracer_ = nullptr;
   Observatory* obs_ = nullptr;
 
+  std::mutex alloc_mu_;  // guards next_addr_ (B-tree splits allocate
+                         // pages from a worker thread mid-batch)
   Addr next_addr_ = 0;
   std::unordered_map<LineAddr, NodeId> home_override_;
 

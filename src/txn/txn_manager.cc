@@ -33,17 +33,20 @@ Transaction* TxnManager::Begin(NodeId node) {
   TxnId id = MakeTxnId(node, ++next_seq_[node]);
   auto txn = std::make_unique<Transaction>();
   txn->id = id;
-  txn->begin_seq = ++begin_counter_;
+  txn->begin_seq = AtomicIncFetch(begin_counter_);
   txn->begin_ts = machine_->NodeClock(node);
   Transaction* ptr = txn.get();
-  txns_[id] = std::move(txn);
+  {
+    std::lock_guard<std::mutex> lk(txn_mu_);
+    txns_[id] = std::move(txn);
+  }
   LogRecord rec;
   rec.type = LogRecordType::kBegin;
   rec.txn = id;
   rec.payload = BeginPayload{};
   ptr->last_lsn = log_->Append(node, std::move(rec));
   ptr->first_lsn = ptr->last_lsn;
-  ++stats_.begins;
+  AtomicInc(stats_.begins);
   SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnBegin,
                        .node = node,
                        .txn = id,
@@ -55,12 +58,14 @@ Transaction* TxnManager::Begin(NodeId node) {
 }
 
 Transaction* TxnManager::Find(TxnId id) {
+  std::lock_guard<std::mutex> lk(txn_mu_);
   auto it = txns_.find(id);
   return it == txns_.end() ? nullptr : it->second.get();
 }
 
 std::vector<Transaction*> TxnManager::ActiveOn(NodeId node) {
   std::vector<Transaction*> out;
+  std::lock_guard<std::mutex> lk(txn_mu_);
   for (auto& [id, txn] : txns_) {
     if (txn->state == TxnState::kActive && txn->node() == node) {
       out.push_back(txn.get());
@@ -71,6 +76,7 @@ std::vector<Transaction*> TxnManager::ActiveOn(NodeId node) {
 
 std::vector<Transaction*> TxnManager::ActiveAll() {
   std::vector<Transaction*> out;
+  std::lock_guard<std::mutex> lk(txn_mu_);
   for (auto& [id, txn] : txns_) {
     if (txn->state == TxnState::kActive) out.push_back(txn.get());
   }
@@ -87,6 +93,7 @@ void TxnManager::NotifyAbort(TxnId id) {
 bool TxnManager::WouldDeadlock(Transaction* txn, uint64_t name) {
   // DFS over the waits-for graph: txn -> holders(name) -> what they wait
   // for -> ... A cycle back to txn means the queue attempt would deadlock.
+  std::lock_guard<std::mutex> lk(txn_mu_);
   std::set<TxnId> visited;
   std::vector<uint64_t> frontier = {name};
   while (!frontier.empty()) {
@@ -120,9 +127,10 @@ Status TxnManager::AcquireLock(Transaction* txn, uint64_t name,
       // deadlock detection (a spinner holding other locks can deadlock with
       // a queued waiter).
       if (WouldDeadlock(txn, name)) {
-        ++stats_.deadlock_aborts;
+        AtomicInc(stats_.deadlock_aborts);
         return Status::Deadlock("waits-for cycle (while spinning)");
       }
+      std::lock_guard<std::mutex> lk(txn_mu_);
       waiting_for_[txn->id] = name;
     }
     return res_or.status();
@@ -131,15 +139,19 @@ Status TxnManager::AcquireLock(Transaction* txn, uint64_t name,
   if (res == LockResult::kGranted) {
     txn->granted_locks.insert(name);
     txn->queued_locks.erase(name);
+    std::lock_guard<std::mutex> lk(txn_mu_);
     waiting_for_.erase(txn->id);
     return Status::Ok();
   }
   txn->queued_locks.insert(name);
   if (WouldDeadlock(txn, name)) {
-    ++stats_.deadlock_aborts;
+    AtomicInc(stats_.deadlock_aborts);
     return Status::Deadlock("waits-for cycle");
   }
-  waiting_for_[txn->id] = name;
+  {
+    std::lock_guard<std::mutex> lk(txn_mu_);
+    waiting_for_[txn->id] = name;
+  }
   return Status::Busy("lock queued");
 }
 
@@ -151,6 +163,7 @@ Result<LockResult> TxnManager::PollLock(Transaction* txn, uint64_t name,
   if (res == LockResult::kGranted) {
     txn->granted_locks.insert(name);
     txn->queued_locks.erase(name);
+    std::lock_guard<std::mutex> lk(txn_mu_);
     waiting_for_.erase(txn->id);
   }
   return res;
@@ -159,7 +172,7 @@ Result<LockResult> TxnManager::PollLock(Transaction* txn, uint64_t name,
 Result<std::vector<uint8_t>> TxnManager::Read(Transaction* txn, RecordId rid,
                                               Isolation isolation) {
   if (isolation == Isolation::kBrowse) {
-    ++stats_.reads;
+    AtomicInc(stats_.reads);
     return DirtyRead(txn->node(), rid);
   }
   uint64_t name = RecordLockName(rid);
@@ -167,7 +180,7 @@ Result<std::vector<uint8_t>> TxnManager::Read(Transaction* txn, RecordId rid,
   SMDB_RETURN_IF_ERROR(AcquireLock(txn, name, LockMode::kShared));
   if (touch_record_) SMDB_RETURN_IF_ERROR(touch_record_(txn->node(), rid));
   SMDB_ASSIGN_OR_RETURN(SlotImage img, records_->ReadSlot(txn->node(), rid));
-  ++stats_.reads;
+  AtomicInc(stats_.reads);
   if (isolation == Isolation::kCursorStability && !held_before) {
     // Degree 2: drop the read lock immediately (never a lock the
     // transaction holds for another reason, e.g. an earlier update).
@@ -243,7 +256,7 @@ Status TxnManager::DoUpdate(Transaction* txn, RecordId rid,
 
   wal_table_->NoteUpdate(page, node, lsn);
   buffers_->MarkDirty(page);
-  if (tag != kTagNone) ++stats_.undo_tag_writes;
+  if (tag != kTagNone) AtomicInc(stats_.undo_tag_writes);
   if (deps_ != nullptr && !is_clr) deps_->OnTxnUpdate(txn->id, record_line);
   return finish(Status::Ok());
 }
@@ -258,7 +271,7 @@ Status TxnManager::Update(Transaction* txn, RecordId rid,
   if (touch_record_) SMDB_RETURN_IF_ERROR(touch_record_(txn->node(), rid));
   SMDB_RETURN_IF_ERROR(DoUpdate(txn, rid, value, /*is_clr=*/false, 0));
   txn->updated_records.push_back(rid);
-  ++stats_.updates;
+  AtomicInc(stats_.updates);
   for (auto* obs : observers_) obs->OnUpdate(txn->id, rid, value);
   return Status::Ok();
 }
@@ -412,11 +425,14 @@ Status TxnManager::FinishCommit(Transaction* txn) {
   }
   txn->granted_locks.clear();
   txn->queued_locks.clear();
-  waiting_for_.erase(txn->id);
+  {
+    std::lock_guard<std::mutex> lk(txn_mu_);
+    waiting_for_.erase(txn->id);
+  }
 
   txn->state = TxnState::kCommitted;
   if (deps_ != nullptr) deps_->OnTxnEnd(txn->id);
-  ++stats_.commits;
+  AtomicInc(stats_.commits);
   const SimTime ack_ts = machine_->NodeClock(node);
   SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnCommit,
                        .node = node,
@@ -449,10 +465,13 @@ Status TxnManager::ResolvePendingCommits() {
     // and its tag clears).
     txn->granted_locks.clear();
     txn->queued_locks.clear();
-    waiting_for_.erase(txn->id);
+    {
+      std::lock_guard<std::mutex> lk(txn_mu_);
+      waiting_for_.erase(txn->id);
+    }
     txn->state = TxnState::kCommitted;
     if (deps_ != nullptr) deps_->OnTxnEnd(txn->id);
-    ++stats_.commits;
+    AtomicInc(stats_.commits);
     const SimTime ack_ts = machine_->NodeClock(node);
     SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnCommit,
                          .node = node,
@@ -626,11 +645,14 @@ Status TxnManager::Abort(Transaction* txn) {
   }
   txn->granted_locks.clear();
   txn->queued_locks.clear();
-  waiting_for_.erase(txn->id);
+  {
+    std::lock_guard<std::mutex> lk(txn_mu_);
+    waiting_for_.erase(txn->id);
+  }
 
   txn->state = TxnState::kAborted;
   if (deps_ != nullptr) deps_->OnTxnEnd(txn->id);
-  ++stats_.aborts;
+  AtomicInc(stats_.aborts);
   const SimTime end_ts = machine_->NodeClock(node);
   SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnAbort,
                        .node = txn->node(),
@@ -655,9 +677,12 @@ Result<ParallelTxn*> TxnManager::BeginParallel(
   }
   std::vector<TxnId> ids;
   for (Transaction* t : ptxn->branches) ids.push_back(t->id);
-  for (TxnId id : ids) groups_[id] = ids;
   ParallelTxn* out = ptxn.get();
-  parallel_.push_back(std::move(ptxn));
+  {
+    std::lock_guard<std::mutex> lk(txn_mu_);
+    for (TxnId id : ids) groups_[id] = ids;
+    parallel_.push_back(std::move(ptxn));
+  }
   return out;
 }
 
@@ -689,6 +714,7 @@ Status TxnManager::AbortParallel(ParallelTxn* ptxn) {
 }
 
 const std::vector<TxnId>* TxnManager::GroupOf(TxnId branch) const {
+  std::lock_guard<std::mutex> lk(txn_mu_);
   auto it = groups_.find(branch);
   return it == groups_.end() ? nullptr : &it->second;
 }
@@ -699,7 +725,10 @@ void TxnManager::MarkCrashAnnulled(Transaction* txn) {
   txn->state = TxnState::kAborted;
   txn->granted_locks.clear();
   txn->queued_locks.clear();
-  waiting_for_.erase(txn->id);
+  {
+    std::lock_guard<std::mutex> lk(txn_mu_);
+    waiting_for_.erase(txn->id);
+  }
   if (deps_ != nullptr) deps_->OnTxnEnd(txn->id);
   const SimTime end_ts = machine_->NodeClock(txn->node());
   SMDB_TRACE(tracer_, {.kind = TraceEventKind::kTxnAbort,

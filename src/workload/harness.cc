@@ -24,7 +24,8 @@ Status Harness::Setup() {
                         config_.db.record_data_size);
   auto scripts = gen.Generate();
   exec_ = std::make_unique<SystemExecutor>(&db_->txn(), &db_->machine(),
-                                           config_.seed ^ 0x5eed);
+                                           config_.seed ^ 0x5eed,
+                                           config_.exec);
   for (NodeId n = 0; n < config_.db.machine.num_nodes; ++n) {
     for (auto& s : scripts[n]) exec_->executor(n).Enqueue(std::move(s));
   }
@@ -115,20 +116,56 @@ Result<HarnessReport> Harness::Run() {
       }
     }
 
-    if (!exec_->StepOnce()) break;
+    if (exec_->execution_threads() <= 1) {
+      // Classic path: one step, then the per-step daemons — byte-for-byte
+      // the pre-sharding behaviour.
+      if (!exec_->StepOnce()) break;
 
-    if (config_.pump_recovery_per_step > 0 && db_->RecoveringActive()) {
-      SMDB_ASSIGN_OR_RETURN(int swept,
-                            db_->PumpRecovery(config_.pump_recovery_per_step));
-      (void)swept;
-    }
-    if (config_.steal_flush_prob > 0.0 &&
-        rng_.Bernoulli(config_.steal_flush_prob)) {
-      // The daemon pauses while Recovering: a steal flush could overwrite a
-      // stable image that pending lazy redo still needs to load from. (The
-      // Bernoulli draw stays unconditional so the rng stream matches runs
-      // without the pause.)
-      if (!db_->RecoveringActive()) SMDB_RETURN_IF_ERROR(StealFlushOne());
+      if (config_.pump_recovery_per_step > 0 && db_->RecoveringActive()) {
+        SMDB_ASSIGN_OR_RETURN(
+            int swept, db_->PumpRecovery(config_.pump_recovery_per_step));
+        (void)swept;
+      }
+      if (config_.steal_flush_prob > 0.0 &&
+          rng_.Bernoulli(config_.steal_flush_prob)) {
+        // The daemon pauses while Recovering: a steal flush could overwrite
+        // a stable image that pending lazy redo still needs to load from.
+        // (The Bernoulli draw stays unconditional so the rng stream matches
+        // runs without the pause.)
+        if (!db_->RecoveringActive()) SMDB_RETURN_IF_ERROR(StealFlushOne());
+      }
+    } else {
+      // Sharded path: run up to the next schedule barrier (crash plan,
+      // checkpoint multiple, max_steps) as footprint-disjoint batches, then
+      // replay the per-step daemons in step order. The harness rng draws
+      // the identical sequence either way; only steal-flush timing is
+      // batch-granular.
+      uint64_t budget = config_.max_steps - exec_->steps();
+      if (next_crash < config_.crashes.size()) {
+        budget = std::min(budget,
+                          config_.crashes[next_crash].at_step - exec_->steps());
+      }
+      if (config_.checkpoint_every_steps > 0) {
+        uint64_t n = config_.checkpoint_every_steps;
+        budget = std::min(budget, n - (exec_->steps() % n));
+      }
+      if (config_.pump_recovery_per_step > 0 && db_->RecoveringActive()) {
+        // The sweeper must interleave with every step while Recovering.
+        budget = 1;
+      }
+      uint64_t executed = exec_->RunBatches(budget);
+      if (executed == 0) break;
+      for (uint64_t i = 0; i < executed; ++i) {
+        if (config_.pump_recovery_per_step > 0 && db_->RecoveringActive()) {
+          SMDB_ASSIGN_OR_RETURN(
+              int swept, db_->PumpRecovery(config_.pump_recovery_per_step));
+          (void)swept;
+        }
+        if (config_.steal_flush_prob > 0.0 &&
+            rng_.Bernoulli(config_.steal_flush_prob)) {
+          if (!db_->RecoveringActive()) SMDB_RETURN_IF_ERROR(StealFlushOne());
+        }
+      }
     }
     if (config_.checkpoint_every_steps > 0 &&
         exec_->steps() % config_.checkpoint_every_steps == 0) {

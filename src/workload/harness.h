@@ -15,6 +15,13 @@ namespace smdb {
 
 struct HarnessConfig {
   DatabaseConfig db;
+  /// Execution sharding: width 1 (default) is the classic single-threaded
+  /// dispatch loop, bit-for-bit; width N > 1 batches footprint-disjoint
+  /// steps of the same seeded schedule across the ThreadPool. Steal-flush
+  /// daemon timing is then batch-granular (the differential width matrix
+  /// runs with steal_flush_prob = 0, where the final state is provably
+  /// width-invariant).
+  ExecutionConfig exec;
   WorkloadSpec workload;
   size_t num_records = 256;
   std::vector<CrashPlan> crashes;

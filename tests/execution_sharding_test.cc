@@ -1,0 +1,156 @@
+// Differential test matrix for the sharded execution hot path: a width-W
+// run (ExecutionConfig::execution_threads = W) must replay the *identical*
+// seeded schedule the serial dispatcher executes, batching only
+// footprint-disjoint steps — so the entire logical outcome is
+// width-invariant, not just "some equivalent serialisation".
+//
+// For every sampled fuzz scenario and every protocol preset, a serial run
+// captures a StateDigest after each recovery plus the end-of-run digest.
+// Then the same schedule re-runs at W ∈ {2, 4, 8} and *every* digest must
+// match bit for bit, along with the executor's logical counters (commits,
+// aborts, retries, lock waits — all schedule-determined). Steal flushing is
+// disabled: the daemon's flush timing is batch-granular under sharding
+// (performance state, like clocks), so the exactness matrix runs without
+// it and a separate relaxed test covers steal-heavy schedules.
+//
+// The matrix shards into four seed ranges so `ctest -j` runs them
+// concurrently; together they cover 100 fuzz-style seeds x 7 protocols x 3
+// widths.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+
+namespace smdb {
+namespace {
+
+void ExpectSameExecStats(const ExecutorStats& serial,
+                         const ExecutorStats& sharded,
+                         const std::string& where) {
+  EXPECT_EQ(serial.committed, sharded.committed) << where;
+  EXPECT_EQ(serial.aborted_deadlock, sharded.aborted_deadlock) << where;
+  EXPECT_EQ(serial.aborted_other, sharded.aborted_other) << where;
+  EXPECT_EQ(serial.retries, sharded.retries) << where;
+  EXPECT_EQ(serial.ops_executed, sharded.ops_executed) << where;
+  EXPECT_EQ(serial.lock_waits, sharded.lock_waits) << where;
+  EXPECT_EQ(serial.commit_waits, sharded.commit_waits) << where;
+}
+
+void RunSeedRange(uint64_t begin, uint64_t end) {
+  const std::vector<RecoveryConfig> protocols =
+      CrashScheduleFuzzer::DefaultProtocols();
+  size_t sharded_runs = 0;
+  for (uint64_t seed = begin; seed < end; ++seed) {
+    FuzzCase fc = SampleFuzzCase(seed);
+    for (const RecoveryConfig& rc : protocols) {
+      std::string ctx_base =
+          "seed " + std::to_string(seed) + " protocol " + rc.Name();
+      HarnessConfig base = MakeHarnessConfig(fc, rc);
+      base.capture_digests = true;
+      base.steal_flush_prob = 0.0;  // exactness matrix: no steal daemon
+
+      Harness hs(base);
+      auto serial = hs.Run();
+      ASSERT_TRUE(serial.ok())
+          << ctx_base << ": " << serial.status().ToString();
+      ASSERT_TRUE(serial->verify_status.ok())
+          << ctx_base << ": " << serial->verify_status.ToString();
+
+      for (uint32_t w : {2u, 4u, 8u}) {
+        std::string where = ctx_base + " W=" + std::to_string(w);
+        HarnessConfig cfg = base;
+        cfg.exec.execution_threads = w;
+        Harness hp(cfg);
+        auto report = hp.Run();
+        ASSERT_TRUE(report.ok()) << where << ": "
+                                 << report.status().ToString();
+        EXPECT_TRUE(report->verify_status.ok())
+            << where << ": " << report->verify_status.ToString();
+        ASSERT_EQ(report->digests.size(), serial->digests.size()) << where;
+        for (size_t i = 0; i < serial->digests.size(); ++i) {
+          ASSERT_EQ(report->digests[i], serial->digests[i])
+              << where << " digest " << i
+              << "\n  serial:  " << serial->digests[i].ToString()
+              << "\n  sharded: " << report->digests[i].ToString();
+        }
+        EXPECT_EQ(report->steps, serial->steps) << where;
+        ExpectSameExecStats(serial->exec, report->exec, where);
+        EXPECT_EQ(serial->txns.commits, report->txns.commits) << where;
+        EXPECT_EQ(serial->txns.aborts, report->txns.aborts) << where;
+        EXPECT_EQ(serial->txns.updates, report->txns.updates) << where;
+        EXPECT_EQ(serial->txns.undo_tag_writes, report->txns.undo_tag_writes)
+            << where;
+        ++sharded_runs;
+      }
+    }
+  }
+  // The shard must actually exercise sharded execution — a sampler
+  // regression that empties the workload would otherwise pass vacuously.
+  EXPECT_GT(sharded_runs, 0u);
+}
+
+TEST(ExecutionSharding, SeedsShard0) { RunSeedRange(0, 25); }
+TEST(ExecutionSharding, SeedsShard1) { RunSeedRange(25, 50); }
+TEST(ExecutionSharding, SeedsShard2) { RunSeedRange(50, 75); }
+TEST(ExecutionSharding, SeedsShard3) { RunSeedRange(75, 100); }
+
+// Steal-heavy schedules at width 8: flush *timing* is batch-granular, so
+// digests are not compared against serial — but the run must stay
+// IFA-clean (the oracle verifies after every recovery and at the end) and
+// deterministic against itself.
+TEST(ExecutionSharding, StealHeavyStillIfaCleanAtWidth8) {
+  const std::vector<RecoveryConfig> protocols =
+      CrashScheduleFuzzer::DefaultProtocols();
+  for (uint64_t seed = 300; seed < 312; ++seed) {
+    FuzzCase fc = SampleFuzzCase(seed);
+    for (const RecoveryConfig& rc : protocols) {
+      std::string ctx =
+          "seed " + std::to_string(seed) + " protocol " + rc.Name();
+      HarnessConfig cfg = MakeHarnessConfig(fc, rc);
+      cfg.steal_flush_prob = 0.2;
+      cfg.capture_digests = true;
+      cfg.exec.execution_threads = 8;
+      Harness h8(cfg);
+      auto a = h8.Run();
+      ASSERT_TRUE(a.ok()) << ctx << ": " << a.status().ToString();
+      EXPECT_TRUE(a->verify_status.ok())
+          << ctx << ": " << a->verify_status.ToString();
+      Harness h8b(cfg);
+      auto b = h8b.Run();
+      ASSERT_TRUE(b.ok()) << ctx;
+      ASSERT_EQ(a->digests.size(), b->digests.size()) << ctx;
+      for (size_t i = 0; i < a->digests.size(); ++i) {
+        EXPECT_EQ(a->digests[i], b->digests[i])
+            << ctx << " width-8 rerun not deterministic at digest " << i;
+      }
+    }
+  }
+}
+
+// Requesting more workers than the machine has nodes degrades gracefully:
+// batches are capped by the one-pick-per-node rule, never by width.
+TEST(ExecutionSharding, MoreThreadsThanNodes) {
+  FuzzCase fc = SampleFuzzCase(7);
+  RecoveryConfig rc = RecoveryConfig::VolatileSelectiveRedo();
+  HarnessConfig base = MakeHarnessConfig(fc, rc);
+  base.capture_digests = true;
+  base.steal_flush_prob = 0.0;
+  Harness hs(base);
+  auto serial = hs.Run();
+  ASSERT_TRUE(serial.ok());
+  HarnessConfig cfg = base;
+  cfg.exec.execution_threads = 32;  // >> num_nodes
+  Harness hp(cfg);
+  auto report = hp.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->digests.size(), serial->digests.size());
+  for (size_t i = 0; i < serial->digests.size(); ++i) {
+    EXPECT_EQ(report->digests[i], serial->digests[i]) << "digest " << i;
+  }
+}
+
+}  // namespace
+}  // namespace smdb

@@ -119,6 +119,68 @@ TEST(OnDemandDigest, DrainMatchesEagerSerialShard1) {
 TEST(OnDemandDigest, DrainMatchesEagerW4) { RunDigestMatrix(0, 8, 4); }
 TEST(OnDemandDigest, DrainMatchesEagerW8) { RunDigestMatrix(8, 16, 8); }
 
+// The pool-backed sweeper: with a per-step budget and recovery_threads > 1,
+// SweepStep dispatches batches of clean heap records (USN-guarded redo
+// only, pairwise-distinct pages) onto the RecoveryManager's ThreadPool.
+// Performers are drawn at plan time in sweep order and USN-allocating work
+// runs solo, so the USN stream — and therefore every captured digest —
+// must match the serial sweep bit for bit. Single-crash schedules only:
+// CLR placement inside the eager prefix is performer-dependent at W > 1
+// and feeds later recoveries' log scans, so only the first parallelised
+// recovery is digest-comparable (the repo-wide caveat, cf.
+// recovery_equivalence_test).
+TEST(OnDemandDigest, ParallelSweepMatchesSerialSweep) {
+  uint64_t batched_total = 0;
+  for (uint64_t seed : {2u, 9u, 17u, 29u}) {
+    FuzzCase fc = SampleFuzzCase(seed);
+    for (const RecoveryConfig& rc : OnDemandProtocols()) {
+      HarnessConfig base = MakeHarnessConfig(fc, rc);
+      if (base.crashes.empty()) continue;
+      base.crashes.resize(1);
+      base.db.recovery.on_demand = true;
+      // Small pages spread the fuzz table across many heap pages: batch
+      // members must sit on pairwise-distinct pages (they share the header
+      // line and Page-LSN otherwise), so a one-page table can never batch.
+      base.db.page_size = 512;
+      base.pump_recovery_per_step = 4;
+      base.capture_digests = true;
+      std::string ctx = "seed " + std::to_string(seed) + " " + rc.Name();
+
+      Harness hs(base);
+      auto serial = hs.Run();
+      ASSERT_TRUE(serial.ok()) << ctx << ": " << serial.status().ToString();
+      ASSERT_TRUE(serial->verify_status.ok())
+          << ctx << ": " << serial->verify_status.ToString();
+
+      for (uint32_t threads : {4u, 8u}) {
+        std::string where = ctx + " W=" + std::to_string(threads);
+        HarnessConfig par = base;
+        par.db.recovery.recovery_threads = threads;
+        Harness hp(par);
+        auto report = hp.Run();
+        ASSERT_TRUE(report.ok())
+            << where << ": " << report.status().ToString();
+        ASSERT_TRUE(report->verify_status.ok())
+            << where << ": " << report->verify_status.ToString();
+        ASSERT_EQ(report->digests.size(), serial->digests.size()) << where;
+        for (size_t i = 0; i < serial->digests.size(); ++i) {
+          ASSERT_EQ(report->digests[i], serial->digests[i])
+              << where << " digest " << i
+              << "\n  serial:   " << serial->digests[i].ToString()
+              << "\n  parallel: " << report->digests[i].ToString();
+        }
+        EXPECT_EQ(report->exec.committed, serial->exec.committed) << where;
+        if (hp.db().on_demand() != nullptr) {
+          batched_total += hp.db().on_demand()->stats().sweep_batched_records;
+        }
+      }
+    }
+  }
+  EXPECT_GT(batched_total, 0u)
+      << "no run ever dispatched a pool batch — the parallel sweep path "
+         "was never exercised";
+}
+
 // Serving traffic through the Recovering window: first-touch discharges
 // race the background sweeper at several budgets, and the IFA oracle must
 // stay clean (the harness defers verification until the final drain).

@@ -586,5 +586,64 @@ TEST(RebootAllSplitDurability, SurvivesWholeMachineReloadUnderSplitLoad) {
   }
 }
 
+// Regression (ROADMAP 5b): eager Selective Redo "duplicate live index
+// entry" at >= 75 txns/node in bench_availability. A split leaf whose
+// header line survives the crash (shared on a survivor) while its tail
+// entry lines are lost pairs a post-split Page-LSN with pre-split
+// reinstalled lines: the structural-redo Page-LSN guard then skipped the
+// split's page image, and the keys the split had moved to the right
+// sibling resurrected in the old leaf as duplicate live entries. The
+// reinstall pass now flags such spliced pages and structural redo installs
+// their images unconditionally.
+TEST(RecoveryEdgeTest, SplitLeafPartialLineLossDoesNotResurrectMovedKeys) {
+  for (auto rc : {RecoveryConfig::VolatileSelectiveRedo(),
+                  RecoveryConfig::StableTriggeredSelectiveRedo()}) {
+    DatabaseConfig c;
+    c.machine.num_nodes = 4;
+    c.page_size = 512;  // 4 lines: header + 3 entry lines of 4 entries each
+    c.recovery = rc;
+    Database db(c);
+    IfaChecker checker(&db);
+    db.txn().AddObserver(&checker);
+    auto t = db.CreateTable(8);
+    ASSERT_TRUE(t.ok());
+    checker.RegisterTable(*t);
+
+    // Node 1 fills the root leaf (12 slots) and commits; the checkpoint
+    // writes the full pre-split leaf image to the stable database.
+    Transaction* fill = db.txn().Begin(1);
+    for (uint64_t k = 10; k <= 120; k += 10) {
+      ASSERT_TRUE(db.txn().IndexInsert(fill, k, (*t)[0]).ok());
+    }
+    ASSERT_TRUE(db.txn().Commit(fill).ok());
+    ASSERT_TRUE(db.Checkpoint(0).ok());
+
+    // The 13th key splits the leaf: keys >= 70 move to the new right
+    // sibling, the old leaf is compacted into its first entry lines, and
+    // the structural nested top-level action stamps its Page-LSN.
+    Transaction* split = db.txn().Begin(1);
+    ASSERT_TRUE(db.txn().IndexInsert(split, 130, (*t)[0]).ok());
+    ASSERT_TRUE(db.txn().Commit(split).ok());
+
+    // A survivor looks up the leaf's lowest key: that caches the old
+    // leaf's header line (post-split Page-LSN) and first entry line on
+    // node 0 — but the tail entry lines stay exclusive to node 1.
+    Transaction* peek = db.txn().Begin(0);
+    auto found = db.txn().IndexLookup(peek, 10);
+    ASSERT_TRUE(found.ok());
+    EXPECT_TRUE(found->has_value());
+    ASSERT_TRUE(db.txn().Commit(peek).ok());
+
+    // Crash node 1: selective redo reinstalls the lost tail lines from the
+    // pre-split stable image. The moved keys must not come back live.
+    auto outcome = db.Crash({1});
+    ASSERT_TRUE(outcome.ok())
+        << rc.Name() << ": " << outcome.status().ToString();
+    Status v = checker.VerifyAll();
+    EXPECT_TRUE(v.ok()) << rc.Name() << ": " << v.ToString();
+    EXPECT_TRUE(db.index().CheckStructure(0).ok()) << rc.Name();
+  }
+}
+
 }  // namespace
 }  // namespace smdb

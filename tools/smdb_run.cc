@@ -53,6 +53,9 @@ void Usage() {
       "  --checkpoint-every=N     steps between checkpoints (default 0)\n"
       "  --recovery-threads=N     worker streams for restart recovery\n"
       "                           (default 1 = serial)\n"
+      "  --exec-threads=N         shard transaction execution across N\n"
+      "                           ThreadPool workers; digest-identical to\n"
+      "                           serial (default 1)\n"
       "  --on-demand-recovery     instant recovery: run only the eager\n"
       "                           crash-time prefix, serve traffic in the\n"
       "                           Recovering state, discharge obligations\n"
@@ -139,6 +142,10 @@ bool ParseFlag(Flags& f, const std::string& arg) {
     unsigned long threads = std::stoul(val);
     if (threads == 0) return false;
     cfg.db.recovery.recovery_threads = static_cast<uint32_t>(threads);
+  } else if (key == "--exec-threads") {
+    unsigned long threads = std::stoul(val);
+    if (threads == 0) return false;
+    cfg.exec.execution_threads = static_cast<uint32_t>(threads);
   } else if (key == "--on-demand-recovery") {
     cfg.db.recovery.on_demand = true;
     if (cfg.pump_recovery_per_step == 0) cfg.pump_recovery_per_step = 1;
