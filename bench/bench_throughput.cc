@@ -42,6 +42,10 @@ HarnessConfig SweepConfig(uint32_t width) {
   // provably width-invariant regime so the digest row is a hard check.
   cfg.steal_flush_prob = 0.0;
   cfg.capture_digests = true;  // one end-of-run digest (no crashes)
+  // Profile every width: planning then runs at the canonical width, so the
+  // reject-reason histogram is width-invariant (asserted below) and the
+  // sweep doubles as the BENCH_exec_profile baseline generator.
+  cfg.db.profiler.enabled = true;
   return cfg;
 }
 
@@ -101,6 +105,9 @@ void Run() {
   json::Value sweep = json::Value::Object();
   sweep.Set("host_cpus", json::Value::Uint(host_cpus));
   json::Value rows = json::Value::Array();
+  std::vector<std::pair<std::string, json::Value>> profiles;
+  std::string widest_collapsed;
+  ProfilerReport serial_profile;
   double serial_wall_ms = 0.0;
   StateDigest serial_digest;
   for (uint32_t w : g_widths) {
@@ -131,6 +138,19 @@ void Run() {
       std::abort();
     }
 
+    // Reject attribution is planned at the canonical width, so the counts
+    // must be width-invariant — same hard-check spirit as the digest row.
+    if (w == g_widths.front()) {
+      serial_profile = r.profile;
+    } else if (r.profile.reject != serial_profile.reject ||
+               r.profile.sweeper_solo != serial_profile.sweeper_solo) {
+      std::fprintf(stderr,
+                   "profiler reject attribution diverged at W=%u\n", w);
+      std::abort();
+    }
+    profiles.emplace_back("w" + std::to_string(w), ProfileJsonFromReport(r));
+    widest_collapsed = r.profile.ToCollapsed();
+
     Row({std::to_string(w), Fmt(r.throughput_tps(), 1), Fmt(wall_ms, 1),
          Fmt(serial_wall_ms / wall_ms, 2) + "x",
          std::to_string(shard.batches), std::to_string(shard.batched_steps),
@@ -151,6 +171,16 @@ void Run() {
   sweep.Set("widths", std::move(rows));
   snapshots.emplace_back("exec_sweep", std::move(sweep));
   WriteMetricsSnapshots("BENCH_throughput_metrics.json", snapshots);
+  WriteMetricsSnapshots("BENCH_exec_profile.json", profiles);
+  {
+    std::ofstream out("BENCH_exec_profile.collapsed");
+    if (out) {
+      out << widest_collapsed;
+      std::printf("wrote BENCH_exec_profile.collapsed\n");
+    } else {
+      std::fprintf(stderr, "cannot write BENCH_exec_profile.collapsed\n");
+    }
+  }
   std::printf(
       "\nshape check: simulated throughput is identical at every width (the\n"
       "sharded executor replays the serial schedule); wall-clock drops with\n"

@@ -13,14 +13,17 @@ Database::Database(DatabaseConfig config) : config_(config) {
   tracer_->set_enabled(config_.trace.enabled);
   observatory_ =
       std::make_unique<Observatory>(config_.machine.num_nodes, config_.obs);
+  profiler_ = std::make_unique<Profiler>(config_.profiler);
   machine_ = std::make_unique<Machine>(config_.machine);
   machine_->set_tracer(tracer_.get());
   machine_->set_observatory(observatory_.get());
+  machine_->set_profiler(profiler_.get());
   db_disk_ = std::make_unique<Disk>(machine_.get(), config_.page_size);
   stable_db_ = std::make_unique<StableDb>(db_disk_.get());
   stable_log_ = std::make_unique<StableLogStore>(config_.machine.num_nodes);
   log_ = std::make_unique<LogManager>(machine_.get(), stable_log_.get());
   log_->set_tracer(tracer_.get());
+  log_->set_profiler(profiler_.get());
   if (config_.recovery.group_commit) {
     group_commit_ = std::make_unique<GroupCommitPipeline>(
         machine_.get(), log_.get(), config_.recovery.group_commit_window_ns,
@@ -41,6 +44,7 @@ Database::Database(DatabaseConfig config) : config_(config) {
   locks_ = std::make_unique<LockTable>(machine_.get(), log_.get(), lt);
   locks_->set_tracer(tracer_.get());
   locks_->set_observatory(observatory_.get());
+  locks_->set_profiler(profiler_.get());
   lbm_ = LbmPolicy::Create(config_.recovery.lbm, machine_.get(), log_.get(),
                            group_commit_.get());
   if (config_.recovery.restart == RestartKind::kAbortDependents) {
@@ -64,6 +68,7 @@ Database::Database(DatabaseConfig config) : config_(config) {
   txn_->SetGroupCommit(group_commit_.get());
   txn_->set_tracer(tracer_.get());
   txn_->set_observatory(observatory_.get());
+  txn_->set_profiler(profiler_.get());
   recovery_ = std::make_unique<RecoveryManager>(this);
   if (config_.recovery.on_demand) {
     on_demand_ = std::make_unique<OnDemandRecovery>(this);
@@ -139,7 +144,13 @@ Result<RecoveryOutcome> Database::Crash(const std::vector<NodeId>& crashed) {
   // resolve them before recovery classifies transactions, so restart never
   // undoes a durably-committed transaction nor acknowledges an annulled one.
   SMDB_RETURN_IF_ERROR(txn_->ResolvePendingCommits());
-  Result<RecoveryOutcome> out = recovery_->Run(crashed);
+  Result<RecoveryOutcome> out = [&] {
+    // Attribute the eager crash-time recovery prefix (and everything it
+    // nests: WAL reads, coherence traffic, index repair) to the recovery
+    // phase tree.
+    ProfRoot root(profiler_.get(), ProfPhase::kRecovery);
+    return recovery_->Run(crashed);
+  }();
   if (out.ok()) {
     SMDB_OBS(observatory_.get(), OnRecoveryEnd(machine_->GlobalTime()));
   }

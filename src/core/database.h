@@ -44,6 +44,8 @@ struct DatabaseConfig {
   TraceConfig trace;
   /// Latency observatory (off by default; same zero-cost discipline).
   ObsConfig obs;
+  /// Execution/recovery profiler (off by default; same discipline).
+  ProfilerConfig profiler;
 };
 
 /// The assembled shared-memory database system: the simulated multiprocessor
@@ -129,6 +131,11 @@ class Database {
   Observatory& observatory() { return *observatory_; }
   /// Observatory as a pointer, for SMDB_OBS call sites.
   Observatory* observatory_ptr() { return observatory_.get(); }
+  /// The profiler. Always constructed; recording is gated by
+  /// DatabaseConfig::profiler.enabled (and set_enabled at runtime).
+  Profiler& profiler() { return *profiler_; }
+  /// Profiler as a pointer, for ProfScope/ProfRoot call sites.
+  Profiler* profiler_ptr() { return profiler_.get(); }
   const DatabaseConfig& config() const { return config_; }
 
   /// Worker streams for subsequent restart recoveries (1 = serial). The
@@ -143,6 +150,7 @@ class Database {
   UsnSource usn_;
   std::unique_ptr<TraceRecorder> tracer_;
   std::unique_ptr<Observatory> observatory_;
+  std::unique_ptr<Profiler> profiler_;
   std::unique_ptr<Machine> machine_;
   std::unique_ptr<Disk> db_disk_;
   std::unique_ptr<StableDb> stable_db_;

@@ -336,6 +336,20 @@ Result<int> OnDemandRecovery::SweepStep(int max_objects) {
   if (!active_) return 0;
   RecoveryManager& rm = db_->recovery();
   ThreadPool* pool = ctx_.threads > 1 ? rm.pool_.get() : nullptr;
+  Profiler* prof = db_->profiler_ptr();
+  const bool profiled = prof != nullptr && prof->enabled();
+  // Attribute a solo (off-pool) discharge: per-reason counter + trace
+  // instant, before the discharge runs so the performer's clock still
+  // reads its pre-discharge value.
+  auto count_solo = [&](SweeperSoloReason r, NodeId performer) {
+    if (!profiled) return;
+    prof->CountSweeperSolo(r);
+    SMDB_TRACE(db_->tracer_ptr(),
+               {.kind = TraceEventKind::kSweepSolo,
+                .node = performer,
+                .ts = db_->machine().NodeClock(performer),
+                .label = SweeperSoloReasonName(r)});
+  };
   int done = 0;
   while (done < max_objects && sweep_pos_ < sweep_order_.size()) {
     if (pool == nullptr) {
@@ -344,13 +358,17 @@ Result<int> OnDemandRecovery::SweepStep(int max_objects) {
       if (!which.first) {
         RecordId rid = sweep_rids_[which.second];
         if (discharged_rids_.contains(rid)) continue;  // first touch beat us
-        SMDB_RETURN_IF_ERROR(
-            DischargeRecord(ctx_.NextSurvivor(), rid, Via::kSweep));
+        NodeId performer = ctx_.NextSurvivor();
+        count_solo(SweeperSoloReason::kSerialSweep, performer);
+        ProfRoot root(prof, ProfPhase::kSweep);
+        SMDB_RETURN_IF_ERROR(DischargeRecord(performer, rid, Via::kSweep));
       } else {
         KeyId key = sweep_keys_[which.second];
         if (discharged_keys_.contains(key)) continue;
-        SMDB_RETURN_IF_ERROR(
-            DischargeKey(ctx_.NextSurvivor(), key, Via::kSweep));
+        NodeId performer = ctx_.NextSurvivor();
+        count_solo(SweeperSoloReason::kSerialSweep, performer);
+        ProfRoot root(prof, ProfPhase::kSweep);
+        SMDB_RETURN_IF_ERROR(DischargeKey(performer, key, Via::kSweep));
       }
       ++done;
       continue;
@@ -413,6 +431,8 @@ Result<int> OnDemandRecovery::SweepStep(int max_objects) {
     if (batch.size() == 1) {
       // No parallelism to exploit; the planned performer keeps the
       // round-robin stream identical either way.
+      count_solo(SweeperSoloReason::kLoneRecord, batch[0].performer);
+      ProfRoot root(prof, ProfPhase::kSweep);
       SMDB_RETURN_IF_ERROR(
           DischargeRecord(batch[0].performer, batch[0].rid, Via::kSweep));
       ++done;
@@ -450,15 +470,30 @@ Result<int> OnDemandRecovery::SweepStep(int max_objects) {
       if (!which.first) {
         RecordId rid = sweep_rids_[which.second];
         if (!discharged_rids_.contains(rid)) {
-          SMDB_RETURN_IF_ERROR(
-              DischargeRecord(ctx_.NextSurvivor(), rid, Via::kSweep));
+          NodeId performer = ctx_.NextSurvivor();
+          if (profiled) {
+            // Re-derive the planner's disqualification, in its check order:
+            // page image pending, CLR-allocating undo work, dead-node tag.
+            SweeperSoloReason r = SweeperSoloReason::kTagDischarge;
+            if (pending_pages_.contains(rid.page)) {
+              r = SweeperSoloReason::kPageLoad;
+            } else if (auto it = records_.find(rid);
+                       it != records_.end() && !it->second.undo.empty()) {
+              r = SweeperSoloReason::kUndoObligation;
+            }
+            count_solo(r, performer);
+          }
+          ProfRoot root(prof, ProfPhase::kSweep);
+          SMDB_RETURN_IF_ERROR(DischargeRecord(performer, rid, Via::kSweep));
           ++done;
         }
       } else {
         KeyId key = sweep_keys_[which.second];
         if (!discharged_keys_.contains(key)) {
-          SMDB_RETURN_IF_ERROR(
-              DischargeKey(ctx_.NextSurvivor(), key, Via::kSweep));
+          NodeId performer = ctx_.NextSurvivor();
+          count_solo(SweeperSoloReason::kIndexDescent, performer);
+          ProfRoot root(prof, ProfPhase::kSweep);
+          SMDB_RETURN_IF_ERROR(DischargeKey(performer, key, Via::kSweep));
           ++done;
         }
       }

@@ -166,6 +166,14 @@ struct RecoveryConfig {
 /// "Sharded execution").
 struct ExecutionConfig {
   uint32_t execution_threads = 1;
+  /// Canonical batch-planning width used whenever the profiler is enabled:
+  /// the planner runs at max(execution_threads, profile_plan_width) so
+  /// batch composition — and with it every reject-reason count and the
+  /// occupancy histogram — is identical at any execution_threads setting.
+  /// Execution still uses the configured pool (ParallelFor handles batches
+  /// wider than the worker count), and the StateDigest is plan-width
+  /// invariant by the schedule-replay construction.
+  uint32_t profile_plan_width = 8;
 };
 
 /// Source of global update sequence numbers. USNs generalise Page-LSNs:

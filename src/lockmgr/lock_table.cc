@@ -121,6 +121,7 @@ bool LockTable::PromoteWaiters(Lcb& lcb) {
 
 Result<LockResult> LockTable::Acquire(NodeId node, TxnId txn, uint64_t name,
                                       LockMode mode, Lsn* chain_prev) {
+  ProfScope lock_wait(prof_, ProfPhase::kLockWait);
   std::lock_guard<std::mutex> latch(StripeFor(name));
   SMDB_ASSIGN_OR_RETURN(uint32_t slot, FindSlot(node, name, /*create=*/true));
   LineAddr l0 = SlotFirstLine(slot);
@@ -214,6 +215,7 @@ Result<LockResult> LockTable::Acquire(NodeId node, TxnId txn, uint64_t name,
 
 Result<LockResult> LockTable::PollGrant(NodeId node, TxnId txn, uint64_t name,
                                         LockMode mode, Lsn* chain_prev) {
+  ProfScope lock_wait(prof_, ProfPhase::kLockWait);
   std::lock_guard<std::mutex> latch(StripeFor(name));
   SMDB_ASSIGN_OR_RETURN(uint32_t slot, FindSlot(node, name, /*create=*/false));
   SMDB_ASSIGN_OR_RETURN(Lcb lcb, ReadLcb(node, slot));

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "lockmgr/lcb.h"
+#include "obs/profiler.h"
 #include "wal/log_manager.h"
 
 namespace smdb {
@@ -161,6 +162,9 @@ class LockTable {
   /// Optional latency observatory (owned by Database); null = none. The
   /// lock table feeds it queued->granted wait spans.
   void set_observatory(Observatory* obs) { obs_ = obs; }
+  /// Optional profiler (owned by Database); null = none. Acquire/PollGrant
+  /// sim time is attributed to the lock_wait phase.
+  void set_profiler(Profiler* prof) { prof_ = prof; }
 
  private:
   /// Finds the slot holding `name`, or the first empty slot when
@@ -203,6 +207,7 @@ class LockTable {
   LogManager* log_;
   TraceRecorder* tracer_ = nullptr;
   Observatory* obs_ = nullptr;
+  Profiler* prof_ = nullptr;
   LockTableConfig config_;
   LcbCodec codec_;
   Addr base_ = 0;

@@ -45,7 +45,16 @@ enum class TraceEventKind : uint8_t {
   kRecoveryPhase,  ///< span: label = phase name, dur = phase sim-time
   kTagDecision,    ///< tag-scan verdict; label = "heap-undo"|"heap-stale"|
                    ///< "index-undo"|"index-stale", a = rid/key, txn = owner
+
+  // Profiler events (txn/executor.cc, core/on_demand.cc).
+  kBatchReject,  ///< a pick executed solo; label = BatchRejectReasonName
+  kSweepSolo,    ///< a sweeper discharge ran solo; label = SweeperSoloReasonName
 };
+
+/// Number of enumerators — smdb_trace_check builds its known-kind set by
+/// iterating [0, kNumTraceEventKinds). Keep in sync with the enum tail.
+inline constexpr size_t kNumTraceEventKinds =
+    static_cast<size_t>(TraceEventKind::kSweepSolo) + 1;
 
 /// Human-readable name of a kind (stable; used in exported JSON).
 const char* TraceEventKindName(TraceEventKind kind);

@@ -86,7 +86,10 @@ Status Machine::ReadLine(NodeId node, LineAddr line,
     *data = &cache.Find(line)->data;
     return Status::Ok();
   }
-  // Miss. Find the current data.
+  // Miss. Find the current data. The whole miss service (downgrades,
+  // remote transfers, memory fetches) is coherence traffic for the
+  // profiler's phase accounting.
+  ProfScope coherence(prof_, ProfPhase::kCoherence);
   if (e.owner != kInvalidNode && e.owner != node) {
     // Exclusive at a remote cache: downgrade it to shared (wr sharing —
     // history H_wr). The hook fires before the transfer completes so Stable
@@ -165,7 +168,9 @@ Status Machine::AcquireExclusive(NodeId node, LineAddr line,
     return Status::Ok();  // already exclusive here
   }
 
-  // Fetch current data if we do not hold a valid copy.
+  // Fetch current data if we do not hold a valid copy. From here on
+  // (fetch, invalidations, migration) is coherence miss service.
+  ProfScope coherence(prof_, ProfPhase::kCoherence);
   std::vector<uint8_t> data;
   SimTime cost = 0;
   if (mine != nullptr) {

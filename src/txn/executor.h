@@ -12,10 +12,13 @@
 #include "common/thread_pool.h"
 #include "common/types.h"
 #include "core/protocol.h"
+#include "obs/profiler.h"
 #include "txn/transaction.h"
 #include "txn/txn_manager.h"
 
 namespace smdb {
+
+class TraceRecorder;
 
 /// One operation in a transaction script.
 struct Op {
@@ -187,6 +190,14 @@ class SystemExecutor {
   /// Width actually used for batching (1 = serial).
   uint32_t execution_threads() const { return exec_.execution_threads; }
 
+  /// Optional profiler: reject-reason attribution + occupancy histograms +
+  /// phase roots around solo steps. When enabled, batch *planning* runs at
+  /// the canonical profile_plan_width so counts are width-comparable; the
+  /// executed schedule (and final state) is unchanged.
+  void set_profiler(Profiler* prof) { prof_ = prof; }
+  /// Optional tracer for kBatchReject instants on solo steps.
+  void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+
   /// Occupancy accounting for the sharded path (all zero at width 1).
   struct ShardStats {
     uint64_t batches = 0;        ///< multi-pick batches dispatched
@@ -216,14 +227,25 @@ class SystemExecutor {
       /// Cannot be proven batchable: runs alone, serially.
       kExclusive,
     };
+    /// Footprint-line provenance, parallel to `lines` — when an incoming
+    /// pick's line collides with the open batch, the colliding line's
+    /// class names the reject reason (lock-stripe vs record-footprint).
+    enum class LineClass : uint8_t {
+      kStripe,  ///< LCB probe-window line (lock-table metadata)
+      kRecord,  ///< record slot / page-header line
+    };
     NodeId node = 0;
     Class cls = Class::kExclusive;
+    /// Why a kExclusive pick cannot batch (profiler attribution).
+    BatchRejectReason why = BatchRejectReason::kUnclassified;
     /// May complete a script and idle the executor: must close the batch
     /// (later draws would see a changed ready set).
     bool terminal = false;
     /// Every cache line the step may touch (LCB probe windows, slot and
     /// header lines). Batch admission requires pairwise disjointness.
     std::vector<LineAddr> lines;
+    /// Class of each entry in `lines` (same order, same length).
+    std::vector<LineClass> line_cls;
     /// Third-party nodes whose logs this step may force (Stable-Triggered
     /// LBM migration triggers). Such a node must not itself be executing
     /// in the batch.
@@ -243,7 +265,11 @@ class SystemExecutor {
   void FinishFootprint(PlannedPick* p) const;
 
   /// Executes one planned batch (size >= 1) and bumps steps_.
-  void ExecuteBatch(std::vector<PlannedPick>& batch);
+  /// `solo_reason` is the close reason attributed when the batch has
+  /// exactly one member; `footprint_lines` is the batch's distinct
+  /// footprint-line count (occupancy histograms).
+  void ExecuteBatch(std::vector<PlannedPick>& batch,
+                    BatchRejectReason solo_reason, size_t footprint_lines);
 
   /// True when batching must be bypassed regardless of width.
   bool SerialGated() const;
@@ -258,6 +284,8 @@ class SystemExecutor {
   std::vector<std::unique_ptr<NodeExecutor>> executors_;
   uint64_t steps_ = 0;
   ShardStats shard_stats_;
+  Profiler* prof_ = nullptr;
+  TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace smdb

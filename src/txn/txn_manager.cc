@@ -179,7 +179,11 @@ Result<std::vector<uint8_t>> TxnManager::Read(Transaction* txn, RecordId rid,
   bool held_before = txn->granted_locks.contains(name);
   SMDB_RETURN_IF_ERROR(AcquireLock(txn, name, LockMode::kShared));
   if (touch_record_) SMDB_RETURN_IF_ERROR(touch_record_(txn->node(), rid));
-  SMDB_ASSIGN_OR_RETURN(SlotImage img, records_->ReadSlot(txn->node(), rid));
+  SlotImage img;
+  {
+    ProfScope apply(prof_, ProfPhase::kApply);
+    SMDB_ASSIGN_OR_RETURN(img, records_->ReadSlot(txn->node(), rid));
+  }
   AtomicInc(stats_.reads);
   if (isolation == Isolation::kCursorStability && !held_before) {
     // Degree 2: drop the read lock immediately (never a lock the
@@ -193,6 +197,7 @@ Result<std::vector<uint8_t>> TxnManager::Read(Transaction* txn, RecordId rid,
 
 Result<std::vector<uint8_t>> TxnManager::DirtyRead(NodeId node, RecordId rid) {
   if (touch_record_) SMDB_RETURN_IF_ERROR(touch_record_(node, rid));
+  ProfScope apply(prof_, ProfPhase::kApply);
   SMDB_ASSIGN_OR_RETURN(SlotImage img, records_->ReadSlot(node, rid));
   return img.data;
 }
@@ -200,6 +205,7 @@ Result<std::vector<uint8_t>> TxnManager::DirtyRead(NodeId node, RecordId rid) {
 Status TxnManager::DoUpdate(Transaction* txn, RecordId rid,
                             const std::vector<uint8_t>& value, bool is_clr,
                             uint64_t /*expected_usn*/) {
+  ProfScope apply(prof_, ProfPhase::kApply);
   NodeId node = txn->node();
   uint16_t tag =
       (config_.undo_tagging() && !is_clr) ? TagForNode(node) : kTagNone;
@@ -285,8 +291,11 @@ Status TxnManager::IndexInsert(Transaction* txn, uint64_t key,
   }
   uint16_t tag =
       config_.undo_tagging() ? TagForNode(txn->node()) : kTagNone;
-  SMDB_RETURN_IF_ERROR(
-      index_->Insert(txn->node(), txn->id, key, value, tag, &txn->last_lsn));
+  {
+    ProfScope descent(prof_, ProfPhase::kIndexDescent);
+    SMDB_RETURN_IF_ERROR(index_->Insert(txn->node(), txn->id, key, value,
+                                        tag, &txn->last_lsn));
+  }
   txn->index_keys.emplace_back(index_->tree_id(), key);
   for (auto* obs : observers_) {
     obs->OnIndexInsert(txn->id, index_->tree_id(), key, value);
@@ -302,8 +311,11 @@ Status TxnManager::IndexDelete(Transaction* txn, uint64_t key) {
   }
   uint16_t tag =
       config_.undo_tagging() ? TagForNode(txn->node()) : kTagNone;
-  SMDB_RETURN_IF_ERROR(
-      index_->Delete(txn->node(), txn->id, key, tag, &txn->last_lsn));
+  {
+    ProfScope descent(prof_, ProfPhase::kIndexDescent);
+    SMDB_RETURN_IF_ERROR(
+        index_->Delete(txn->node(), txn->id, key, tag, &txn->last_lsn));
+  }
   txn->index_keys.emplace_back(index_->tree_id(), key);
   for (auto* obs : observers_) {
     obs->OnIndexDelete(txn->id, index_->tree_id(), key);
@@ -318,6 +330,7 @@ Result<std::optional<RecordId>> TxnManager::IndexLookup(Transaction* txn,
   if (touch_key_) {
     SMDB_RETURN_IF_ERROR(touch_key_(txn->node(), index_->tree_id(), key));
   }
+  ProfScope descent(prof_, ProfPhase::kIndexDescent);
   return index_->Lookup(txn->node(), key);
 }
 
@@ -407,6 +420,7 @@ Status TxnManager::FinishCommit(Transaction* txn) {
     }
     std::set<std::pair<uint32_t, uint64_t>> keys(txn->index_keys.begin(),
                                                  txn->index_keys.end());
+    ProfScope descent(prof_, ProfPhase::kIndexDescent);
     for (const auto& [tree, key] : keys) {
       (void)tree;
       Status s = index_->ClearTag(node, key);

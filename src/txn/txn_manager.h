@@ -228,6 +228,10 @@ class TxnManager {
   void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
   /// Optional latency observatory (owned by Database); null = none.
   void set_observatory(Observatory* obs) { obs_ = obs; }
+  /// Optional profiler (owned by Database); null = none. Slot reads and
+  /// the update protocol attribute to the apply phase, index traversals
+  /// (including commit-time tag clears) to index_descent.
+  void set_profiler(Profiler* prof) { prof_ = prof; }
   LbmPolicy* lbm() { return lbm_; }
   UsnSource* usn() { return usn_; }
   RecordStore* records() { return records_; }
@@ -273,6 +277,7 @@ class TxnManager {
   GroupCommitPipeline* gc_ = nullptr;  // may be null (group commit off)
   TraceRecorder* tracer_ = nullptr;    // may be null (tracing off)
   Observatory* obs_ = nullptr;         // may be null (observatory off)
+  Profiler* prof_ = nullptr;           // may be null (profiler off)
   RecoveryConfig config_;
   std::set<TxnId> resolved_commit_ids_;
   TouchRecordFn touch_record_;  // unset when on-demand recovery is off

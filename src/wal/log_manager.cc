@@ -29,6 +29,7 @@ LogManager::LogManager(Machine* machine, StableLogStore* stable)
 }
 
 Lsn LogManager::Append(NodeId node, LogRecord rec) {
+  ProfScope wal_append(prof_, ProfPhase::kWalAppend);
   const TxnId txn = rec.txn;
   Lsn lsn;
   {
@@ -50,6 +51,7 @@ Lsn LogManager::Append(NodeId node, LogRecord rec) {
 }
 
 Status LogManager::Force(NodeId requestor, NodeId node) {
+  ProfScope wal_force(prof_, ProfPhase::kWalForce);
   if (!machine_->NodeAlive(node)) {
     // The tail died with the node; only the already-stable prefix exists.
     return Status::NodeFailed("cannot force log of crashed node");

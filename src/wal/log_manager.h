@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "obs/histogram.h"
+#include "obs/profiler.h"
 #include "storage/stable_log.h"
 #include "wal/log_record.h"
 
@@ -213,10 +214,14 @@ class LogManager {
 
   /// Optional event tracer (owned by Database); null = no tracing.
   void set_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+  /// Optional profiler (owned by Database); null = none. Append/Force sim
+  /// time is attributed to the wal_append / wal_force phases.
+  void set_profiler(Profiler* prof) { prof_ = prof; }
 
  private:
   Machine* machine_;
   TraceRecorder* tracer_ = nullptr;
+  Profiler* prof_ = nullptr;
   StableLogStore* stable_;
   /// One latch per node log (tail + next LSN + that node's stable stream).
   std::unique_ptr<std::mutex[]> node_mu_;

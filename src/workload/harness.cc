@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/on_demand.h"
+
 namespace smdb {
 
 Harness::Harness(HarnessConfig config)
@@ -26,6 +28,8 @@ Status Harness::Setup() {
   exec_ = std::make_unique<SystemExecutor>(&db_->txn(), &db_->machine(),
                                            config_.seed ^ 0x5eed,
                                            config_.exec);
+  exec_->set_profiler(db_->profiler_ptr());
+  exec_->set_tracer(db_->tracer_ptr());
   for (NodeId n = 0; n < config_.db.machine.num_nodes; ++n) {
     for (auto& s : scripts[n]) exec_->executor(n).Enqueue(std::move(s));
   }
@@ -116,9 +120,12 @@ Result<HarnessReport> Harness::Run() {
       }
     }
 
-    if (exec_->execution_threads() <= 1) {
+    if (exec_->execution_threads() <= 1 && !db_->profiler().enabled()) {
       // Classic path: one step, then the per-step daemons — byte-for-byte
-      // the pre-sharding behaviour.
+      // the pre-sharding behaviour. A profiled width-1 run routes through
+      // RunBatches instead so reject attribution sees the same canonical
+      // batch plan as every other width (execution stays sequential and
+      // bit-identical when steal_flush_prob is 0).
       if (!exec_->StepOnce()) break;
 
       if (config_.pump_recovery_per_step > 0 && db_->RecoveringActive()) {
@@ -219,6 +226,13 @@ void Harness::FillReport(HarnessReport* report) {
   report->steps = exec_->steps();
   report->total_time_ns = db_->machine().GlobalTime();
   report->latency = db_->observatory().Snapshot();
+  report->shard = exec_->shard_stats();
+  if (db_->on_demand() != nullptr) {
+    report->sweep_batches = db_->on_demand()->stats().sweep_batches;
+    report->sweep_batched_records =
+        db_->on_demand()->stats().sweep_batched_records;
+  }
+  report->profile = db_->profiler().Snapshot();
 }
 
 }  // namespace smdb

@@ -88,6 +88,16 @@ struct HarnessReport {
   /// Observatory snapshot; enabled=false (and otherwise empty) unless
   /// DatabaseConfig::obs.enabled was set.
   LatencyReport latency;
+  /// Batch-occupancy counters from the sharded executor (all zero on the
+  /// classic width-1 unprofiled path).
+  SystemExecutor::ShardStats shard;
+  /// On-demand sweeper parallel-batch counters (zero when on_demand is off
+  /// or the sweeper never batched).
+  uint64_t sweep_batches = 0;
+  uint64_t sweep_batched_records = 0;
+  /// Profiler snapshot; enabled=false (and otherwise empty) unless
+  /// DatabaseConfig::profiler.enabled was set.
+  ProfilerReport profile;
   uint64_t disk_reads = 0;
   uint64_t disk_writes = 0;
   uint64_t steps = 0;

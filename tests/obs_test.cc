@@ -30,6 +30,12 @@
 //      are identical across recovery thread widths for a fixed seed.
 //  10. LogStats now stores force batches in a Histogram; the classic
 //      bucket counters derived from it match the old classification.
+//  11. Profiler determinism matrix: reject-reason counts are identical at
+//      every execution width (planning runs at the canonical width), they
+//      sum exactly to solo_steps, the StateDigest is bit-identical with
+//      the profiler on vs off, serial gates attribute every step, the
+//      sweeper's solo discharges are typed, and the collapsed-stack /
+//      JSON exports are well-formed.
 
 #include <gtest/gtest.h>
 
@@ -822,6 +828,283 @@ TEST(StatsParity, ForceBatchHistogramMatchesTheClassicBuckets) {
   }
   EXPECT_EQ(total, 200u) << "derived buckets must partition the recordings";
   EXPECT_EQ(s.max_force_batch(), 200u);
+}
+
+// ---- Execution/recovery profiler ---------------------------------------
+
+// Under -DSMDB_DISABLE_PROFILER the emission sites (and the runtime
+// enable) are compiled out; the attribution tests skip.
+#ifdef SMDB_PROFILER_DISABLED
+constexpr bool kProfilerCompiledOut = true;
+#else
+constexpr bool kProfilerCompiledOut = false;
+#endif
+
+#define SMDB_SKIP_IF_PROFILER_COMPILED_OUT()               \
+  if (kProfilerCompiledOut) {                              \
+    GTEST_SKIP() << "profiler compiled out (SMDB_PROFILER_DISABLED)"; \
+  }
+
+HarnessConfig ProfiledConfig(uint32_t exec_threads, bool prof_on = true) {
+  HarnessConfig cfg = TracedConfig(/*recovery_threads=*/1);
+  cfg.db.trace.enabled = false;
+  cfg.db.profiler.enabled = prof_on;
+  cfg.exec.execution_threads = exec_threads;
+  cfg.capture_digests = true;
+  return cfg;
+}
+
+uint64_t RejectSum(const ProfilerReport& p) {
+  uint64_t sum = 0;
+  for (uint64_t c : p.reject) sum += c;
+  return sum;
+}
+
+TEST(ProfilerDeterminism, ReasonCountsInvariantAcrossWidthsAndSumToSolo) {
+  SMDB_SKIP_IF_PROFILER_COMPILED_OUT();
+  std::optional<HarnessReport> w1;
+  for (uint32_t w : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("exec width " + std::to_string(w));
+    Harness h(ProfiledConfig(w));
+    auto report = h.Run();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ASSERT_TRUE(report->verify_status.ok())
+        << report->verify_status.ToString();
+    ASSERT_TRUE(report->profile.enabled);
+
+    // The load-bearing invariant: every solo step carries exactly one
+    // typed reason.
+    EXPECT_EQ(RejectSum(report->profile), report->shard.solo_steps);
+    EXPECT_EQ(report->profile.reject_total(), report->shard.solo_steps);
+    EXPECT_GT(report->shard.solo_steps, 0u);
+    EXPECT_GT(report->shard.batches, 0u)
+        << "canonical planning width must form multi-pick batches";
+    // The fallback bucket must stay empty — it would mean a rejection
+    // point the taxonomy does not cover.
+    EXPECT_EQ(report->profile.reject[static_cast<size_t>(
+                  BatchRejectReason::kUnclassified)],
+              0u);
+
+    if (w == 1) {
+      w1 = *report;
+      continue;
+    }
+    // Planning runs at the canonical width regardless of the execution
+    // width, so attribution — and the occupancy/footprint histograms —
+    // are width-invariant, as is the final state.
+    EXPECT_EQ(report->profile.reject, w1->profile.reject);
+    EXPECT_EQ(report->profile.sweeper_solo, w1->profile.sweeper_solo);
+    EXPECT_TRUE(report->profile.batch_occupancy ==
+                w1->profile.batch_occupancy);
+    EXPECT_TRUE(report->profile.batch_footprint_lines ==
+                w1->profile.batch_footprint_lines);
+    EXPECT_EQ(report->shard.batches, w1->shard.batches);
+    EXPECT_EQ(report->shard.batched_steps, w1->shard.batched_steps);
+    EXPECT_EQ(report->shard.solo_steps, w1->shard.solo_steps);
+    ASSERT_EQ(report->digests.size(), w1->digests.size());
+    for (size_t i = 0; i < report->digests.size(); ++i) {
+      EXPECT_TRUE(report->digests[i] == w1->digests[i])
+          << "digest " << i << " diverged at width " << w;
+    }
+  }
+}
+
+TEST(ProfilerDeterminism, DigestsBitIdenticalProfilerOnVsOff) {
+  SMDB_SKIP_IF_PROFILER_COMPILED_OUT();
+  for (uint32_t w : {1u, 4u}) {
+    SCOPED_TRACE("exec width " + std::to_string(w));
+    Harness off(ProfiledConfig(w, /*prof_on=*/false));
+    auto off_report = off.Run();
+    ASSERT_TRUE(off_report.ok()) << off_report.status().ToString();
+    Harness on(ProfiledConfig(w, /*prof_on=*/true));
+    auto on_report = on.Run();
+    ASSERT_TRUE(on_report.ok()) << on_report.status().ToString();
+
+    EXPECT_FALSE(off_report->profile.enabled);
+    ASSERT_TRUE(on_report->profile.enabled);
+    ASSERT_FALSE(off_report->digests.empty());
+    ASSERT_EQ(off_report->digests.size(), on_report->digests.size());
+    for (size_t i = 0; i < off_report->digests.size(); ++i) {
+      EXPECT_TRUE(off_report->digests[i] == on_report->digests[i])
+          << "digest " << i << " diverged:\n  off "
+          << off_report->digests[i].ToString() << "\n  on  "
+          << on_report->digests[i].ToString();
+    }
+    EXPECT_EQ(off_report->exec.committed, on_report->exec.committed);
+    EXPECT_EQ(off_report->total_time_ns, on_report->total_time_ns);
+  }
+}
+
+TEST(ProfilerAttribution, SerialGatesAttributeEveryStep) {
+  SMDB_SKIP_IF_PROFILER_COMPILED_OUT();
+  // Group commit serial-gates the whole run: every step is a gated solo
+  // step, nothing batches, and all the mass lands on the one gate reason.
+  {
+    HarnessConfig cfg = ProfiledConfig(/*exec_threads=*/4);
+    cfg.crashes.clear();
+    cfg.db.recovery.group_commit = true;
+    Harness h(cfg);
+    auto report = h.Run();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->shard.batches, 0u);
+    EXPECT_GT(report->shard.solo_steps, 0u);
+    EXPECT_EQ(report->profile.reject[static_cast<size_t>(
+                  BatchRejectReason::kSerialGatedGroupCommit)],
+              report->shard.solo_steps);
+    EXPECT_EQ(RejectSum(report->profile), report->shard.solo_steps);
+  }
+  // On-demand recovery installs first-touch hooks with unknowable
+  // footprints: same shape, different gate.
+  {
+    HarnessConfig cfg = ProfiledConfig(/*exec_threads=*/4);
+    cfg.crashes.clear();
+    cfg.db.recovery.on_demand = true;
+    Harness h(cfg);
+    auto report = h.Run();
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->shard.batches, 0u);
+    EXPECT_GT(report->shard.solo_steps, 0u);
+    EXPECT_EQ(report->profile.reject[static_cast<size_t>(
+                  BatchRejectReason::kSerialGatedOnDemand)],
+              report->shard.solo_steps);
+    EXPECT_EQ(RejectSum(report->profile), report->shard.solo_steps);
+  }
+}
+
+TEST(ProfilerAttribution, SweeperSoloDischargesAreTypedAndDeterministic) {
+  SMDB_SKIP_IF_PROFILER_COMPILED_OUT();
+  auto run = [] {
+    HarnessConfig cfg = ProfiledConfig(/*exec_threads=*/1);
+    cfg.db.recovery.on_demand = true;
+    cfg.pump_recovery_per_step = 1;
+    Harness h(cfg);
+    auto report = h.Run();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->verify_status.ok())
+        << report->verify_status.ToString();
+    return report->profile;
+  };
+  ProfilerReport a = run();
+  ProfilerReport b = run();
+  // The crashing on-demand run must exercise the sweeper's solo path, with
+  // recovery_threads = 1 the whole sweep is serial, and two identical
+  // configs attribute identically.
+  EXPECT_GT(a.sweeper_solo_total(), 0u);
+  EXPECT_GT(a.sweeper_solo[static_cast<size_t>(
+                SweeperSoloReason::kSerialSweep)],
+            0u);
+  EXPECT_EQ(a.sweeper_solo, b.sweeper_solo);
+  EXPECT_EQ(a.reject, b.reject);
+  // Sweep discharges attribute their coherence/WAL costs under the sweep
+  // root.
+  bool saw_sweep_root = false;
+  for (const auto& [path, cell] : a.phases) {
+    if (path.rfind("sweep", 0) == 0) saw_sweep_root = true;
+  }
+  EXPECT_TRUE(saw_sweep_root) << "no sweep-rooted phase cells";
+}
+
+TEST(ProfilerExport, CollapsedStackAndJsonAreWellFormed) {
+  SMDB_SKIP_IF_PROFILER_COMPILED_OUT();
+  Harness h(ProfiledConfig(/*exec_threads=*/4));
+  auto report = h.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const ProfilerReport& p = report->profile;
+  ASSERT_FALSE(p.phases.empty());
+
+  // Every phase path is rooted at a coordinator unit of work, and a
+  // crashing run covers both the step and the recovery trees.
+  std::set<std::string> roots;
+  for (const auto& [path, cell] : p.phases) {
+    roots.insert(path.substr(0, path.find(';')));
+  }
+  for (const std::string& root : roots) {
+    EXPECT_TRUE(root == "step" || root == "sweep" || root == "recovery")
+        << "unknown root " << root;
+  }
+  EXPECT_TRUE(roots.contains("step"));
+  EXPECT_TRUE(roots.contains("recovery"));
+
+  // Collapsed stacks: "<stack> <uint>" per line, one line per cell.
+  std::string collapsed = p.ToCollapsed();
+  size_t lines = 0;
+  size_t start = 0;
+  while (start < collapsed.size()) {
+    size_t nl = collapsed.find('\n', start);
+    ASSERT_NE(nl, std::string::npos) << "unterminated collapsed line";
+    std::string line = collapsed.substr(start, nl - start);
+    start = nl + 1;
+    ++lines;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.substr(space + 1).find_first_not_of("0123456789"),
+              std::string::npos)
+        << line;
+    EXPECT_NE(p.phases.find(line.substr(0, space)), p.phases.end()) << line;
+  }
+  EXPECT_EQ(lines, p.phases.size());
+
+  // The standalone profile document parses back and cross-checks.
+  json::Value doc = ProfileJsonFromReport(*report);
+  auto reparsed = json::Value::Parse(doc.Dump(1));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  const json::Value* prof = reparsed->Find("profiler");
+  ASSERT_NE(prof, nullptr);
+  EXPECT_TRUE(prof->GetBool("enabled"));
+  EXPECT_EQ(prof->GetUint("reject_total"),
+            reparsed->Find("executor")->GetUint("solo_steps"));
+  const json::Value* reject = prof->Find("reject");
+  ASSERT_NE(reject, nullptr);
+  EXPECT_EQ(reject->members().size(), kNumBatchRejectReasons)
+      << "zeros are exported too";
+  ASSERT_NE(prof->Find("sweeper_solo"), nullptr);
+  ASSERT_NE(prof->Find("batch_occupancy"), nullptr);
+  ASSERT_NE(prof->Find("phases"), nullptr);
+  ASSERT_NE(reparsed->Find("sweeper"), nullptr);
+}
+
+TEST(Metrics, ProfilerKeysPresentWhenEnabledAbsentWhenOff) {
+  Harness on(ProfiledConfig(/*exec_threads=*/2, /*prof_on=*/true));
+  auto on_report = on.Run();
+  ASSERT_TRUE(on_report.ok()) << on_report.status().ToString();
+  json::Value snap = MetricsRegistry::FromReport(*on_report).ToJson();
+  // The occupancy counters are unconditional...
+  for (const char* key :
+       {"executor.batches", "executor.batched_steps", "executor.solo_steps",
+        "sweeper.batches", "sweeper.batched_records"}) {
+    EXPECT_NE(snap.Find(key), nullptr) << "missing " << key;
+  }
+  if (!kProfilerCompiledOut) {
+    // ...and the full reason taxonomy appears when profiling, zeros
+    // included, plus the occupancy summaries.
+    for (size_t i = 0; i < kNumBatchRejectReasons; ++i) {
+      std::string key =
+          std::string("executor.reject.") +
+          BatchRejectReasonName(static_cast<BatchRejectReason>(i));
+      EXPECT_NE(snap.Find(key), nullptr) << "missing " << key;
+    }
+    for (size_t i = 0; i < kNumSweeperSoloReasons; ++i) {
+      std::string key =
+          std::string("sweeper.solo.") +
+          SweeperSoloReasonName(static_cast<SweeperSoloReason>(i));
+      EXPECT_NE(snap.Find(key), nullptr) << "missing " << key;
+    }
+    for (const char* key :
+         {"executor.occupancy.count", "executor.occupancy.mean",
+          "executor.occupancy.p50", "executor.occupancy.p99",
+          "executor.occupancy.max", "executor.footprint_lines.count"}) {
+      EXPECT_NE(snap.Find(key), nullptr) << "missing " << key;
+    }
+  }
+
+  Harness off(ProfiledConfig(/*exec_threads=*/2, /*prof_on=*/false));
+  auto off_report = off.Run();
+  ASSERT_TRUE(off_report.ok()) << off_report.status().ToString();
+  json::Value off_snap = MetricsRegistry::FromReport(*off_report).ToJson();
+  EXPECT_NE(off_snap.Find("executor.batches"), nullptr);
+  EXPECT_EQ(off_snap.Find("executor.reject.poll-lock"), nullptr)
+      << "reason keys must vanish, not zero out, when not profiling";
+  EXPECT_EQ(off_snap.Find("executor.occupancy.count"), nullptr);
 }
 
 }  // namespace

@@ -11,7 +11,10 @@
 //
 //   --threshold=F   relative-delta tolerance (default 0.25 = 25%)
 //   --report-only   print the comparison but always exit 0 (CI soak mode)
-//   --match=SUBSTR  only compare paths containing SUBSTR (repeatable)
+//   --match=SUBSTR[,SUBSTR...]
+//                   only compare paths containing one of the substrings
+//                   (repeatable; each occurrence may list several,
+//                   comma-separated)
 
 #include <cmath>
 #include <cstdio>
@@ -87,7 +90,14 @@ int Run(int argc, char** argv) {
     } else if (arg == "--report-only") {
       report_only = true;
     } else if (arg.rfind("--match=", 0) == 0) {
-      matches.push_back(arg.substr(strlen("--match=")));
+      std::string list = arg.substr(strlen("--match="));
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > start) matches.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+      }
     } else if (baseline_path == nullptr) {
       baseline_path = argv[i];
     } else if (current_path == nullptr) {
@@ -101,7 +111,7 @@ int Run(int argc, char** argv) {
   if (baseline_path == nullptr || current_path == nullptr) {
     std::fprintf(stderr,
                  "usage: bench_compare baseline.json current.json "
-                 "[--threshold=F] [--report-only] [--match=SUBSTR]\n");
+                 "[--threshold=F] [--report-only] [--match=SUBSTR[,...]]\n");
     return 2;
   }
 

@@ -1,0 +1,286 @@
+// smdb_profile_check — validates a profiler export produced by
+// `smdb_run --profile-out=...` (or bench_throughput's BENCH_exec_profile
+// snapshots).
+//
+// Structural checks: the document parses, carries profiler/executor/sweeper
+// sections, every reject and sweeper-solo reason name is one this build
+// knows (and every known name is present, zeros included), and every phase
+// path is rooted at step/sweep/recovery. Semantic checks: the taxonomy is
+// exhaustive — sum(executor.reject.*) == reject_total == executor.solo_steps
+// and sum(sweeper.solo.*) == sweeper_solo_total — and the occupancy
+// histogram's population is consistent with the batch counters.
+//
+// Accepts either a single profile document (smdb_run) or a snapshot map of
+// them keyed by series name (bench_throughput's BENCH_exec_profile.json:
+// {"w1": {...}, "w2": {...}}); every member is validated.
+//
+// With a second argument, also validates a collapsed-stack file (the
+// `--profile-out` sibling PATH.collapsed): every line is "<stack> <uint>"
+// with ';'-separated non-empty frames rooted at a known phase root.
+//
+// Exits 0 on success, 1 on any violation — a CI smoke step, like
+// smdb_trace_check.
+//
+// Usage: smdb_profile_check PROFILE.json [PROFILE.json.collapsed]
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "obs/profiler.h"
+
+namespace smdb {
+namespace {
+
+bool ReadAll(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// Checks one reason table: every key known, every known name present,
+/// values sum to `total_key`'s value. Returns the sum via *sum.
+bool CheckReasons(const std::string& path, const json::Value& doc,
+                  const char* table_key, const char* total_key,
+                  const std::set<std::string>& known, uint64_t* sum) {
+  const json::Value* table = doc.Find(table_key);
+  if (table == nullptr || !table->is_object()) {
+    std::fprintf(stderr, "%s: missing %s object\n", path.c_str(), table_key);
+    return false;
+  }
+  *sum = 0;
+  std::set<std::string> seen;
+  for (const auto& [name, count] : table->members()) {
+    if (known.find(name) == known.end()) {
+      std::fprintf(stderr, "%s: %s has unknown reason \"%s\"\n", path.c_str(),
+                   table_key, name.c_str());
+      return false;
+    }
+    seen.insert(name);
+    *sum += count.AsUint();
+  }
+  for (const std::string& name : known) {
+    if (seen.find(name) == seen.end()) {
+      std::fprintf(stderr, "%s: %s lacks reason \"%s\" (zeros are exported "
+                   "too)\n", path.c_str(), table_key, name.c_str());
+      return false;
+    }
+  }
+  const uint64_t total = doc.GetUint(total_key);
+  if (total != *sum) {
+    std::fprintf(stderr,
+                 "%s: %s = %llu but %s sums to %llu\n", path.c_str(),
+                 total_key, static_cast<unsigned long long>(total), table_key,
+                 static_cast<unsigned long long>(*sum));
+    return false;
+  }
+  return true;
+}
+
+bool IsPhaseRoot(const std::string& frame) {
+  return frame == ProfPhaseName(ProfPhase::kStep) ||
+         frame == ProfPhaseName(ProfPhase::kSweep) ||
+         frame == ProfPhaseName(ProfPhase::kRecovery);
+}
+
+int CheckProfileDoc(const std::string& path, const json::Value& doc) {
+  const json::Value* prof = doc.Find("profiler");
+  const json::Value* exec = doc.Find("executor");
+  const json::Value* sweeper = doc.Find("sweeper");
+  if (prof == nullptr || !prof->is_object() || exec == nullptr ||
+      !exec->is_object() || sweeper == nullptr || !sweeper->is_object()) {
+    std::fprintf(stderr,
+                 "%s: missing profiler/executor/sweeper sections\n",
+                 path.c_str());
+    return 1;
+  }
+  if (!prof->GetBool("enabled")) {
+    // A run without the profiler (or a build with it compiled out) exports
+    // an empty report; there is nothing to cross-check.
+    std::printf("%s: ok — profiler disabled, nothing to validate\n",
+                path.c_str());
+    return 0;
+  }
+
+  std::set<std::string> reject_names;
+  for (size_t i = 0; i < kNumBatchRejectReasons; ++i) {
+    reject_names.insert(
+        BatchRejectReasonName(static_cast<BatchRejectReason>(i)));
+  }
+  std::set<std::string> solo_names;
+  for (size_t i = 0; i < kNumSweeperSoloReasons; ++i) {
+    solo_names.insert(
+        SweeperSoloReasonName(static_cast<SweeperSoloReason>(i)));
+  }
+  uint64_t reject_sum = 0;
+  uint64_t solo_sum = 0;
+  if (!CheckReasons(path, *prof, "reject", "reject_total", reject_names,
+                    &reject_sum) ||
+      !CheckReasons(path, *prof, "sweeper_solo", "sweeper_solo_total",
+                    solo_names, &solo_sum)) {
+    return 1;
+  }
+
+  // The load-bearing invariant: every solo step carries exactly one typed
+  // reason. A counter missed at a rejection point breaks this equality.
+  const uint64_t solo_steps = exec->GetUint("solo_steps");
+  if (reject_sum != solo_steps) {
+    std::fprintf(stderr,
+                 "%s: reject reasons sum to %llu but executor.solo_steps is "
+                 "%llu — a rejection point is not attributed\n",
+                 path.c_str(), static_cast<unsigned long long>(reject_sum),
+                 static_cast<unsigned long long>(solo_steps));
+    return 1;
+  }
+
+  const json::Value* occupancy = prof->Find("batch_occupancy");
+  const json::Value* footprint = prof->Find("batch_footprint_lines");
+  if (occupancy == nullptr || !occupancy->is_object() || footprint == nullptr ||
+      !footprint->is_object()) {
+    std::fprintf(stderr, "%s: missing occupancy/footprint histograms\n",
+                 path.c_str());
+    return 1;
+  }
+  // Each dispatched batch (solo or multi) on the planned path records one
+  // occupancy sample; serial-gated solo steps don't (there is no batch).
+  const uint64_t batches = exec->GetUint("batches");
+  const uint64_t occ_count = occupancy->GetUint("count");
+  if (occ_count < batches || occ_count > batches + solo_steps) {
+    std::fprintf(stderr,
+                 "%s: batch_occupancy.count %llu outside [batches %llu, "
+                 "batches + solo_steps %llu]\n",
+                 path.c_str(), static_cast<unsigned long long>(occ_count),
+                 static_cast<unsigned long long>(batches),
+                 static_cast<unsigned long long>(batches + solo_steps));
+    return 1;
+  }
+
+  const json::Value* phases = prof->Find("phases");
+  if (phases == nullptr || !phases->is_object()) {
+    std::fprintf(stderr, "%s: missing phases object\n", path.c_str());
+    return 1;
+  }
+  for (const auto& [stack, cell] : phases->members()) {
+    const std::string root = stack.substr(0, stack.find(';'));
+    if (!IsPhaseRoot(root)) {
+      std::fprintf(stderr, "%s: phase path \"%s\" has unknown root \"%s\"\n",
+                   path.c_str(), stack.c_str(), root.c_str());
+      return 1;
+    }
+    if (!cell.is_object() || cell.Find("ns") == nullptr ||
+        cell.Find("ticks") == nullptr || cell.Find("samples") == nullptr) {
+      std::fprintf(stderr, "%s: phase \"%s\" lacks ns/ticks/samples\n",
+                   path.c_str(), stack.c_str());
+      return 1;
+    }
+  }
+
+  std::printf(
+      "%s: ok — %llu solo steps fully attributed, %llu batches, "
+      "%zu phase cells\n",
+      path.c_str(), static_cast<unsigned long long>(solo_steps),
+      static_cast<unsigned long long>(batches), phases->members().size());
+  return 0;
+}
+
+int CheckProfile(const std::string& path) {
+  std::string text;
+  if (!ReadAll(path, &text)) return 1;
+  auto parsed = json::Value::Parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: JSON parse failed: %s\n", path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  if (!parsed->is_object()) {
+    std::fprintf(stderr, "%s: top level is not an object\n", path.c_str());
+    return 1;
+  }
+  if (parsed->Find("profiler") != nullptr) {
+    return CheckProfileDoc(path, *parsed);
+  }
+  // Snapshot map: every member is a profile document.
+  if (parsed->members().empty()) {
+    std::fprintf(stderr, "%s: no profile documents\n", path.c_str());
+    return 1;
+  }
+  for (const auto& [name, doc] : parsed->members()) {
+    int rc = CheckProfileDoc(path + "#" + name, doc);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
+int CheckCollapsed(const std::string& path) {
+  std::string text;
+  if (!ReadAll(path, &text)) return 1;
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  size_t stacks = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space == line.size() - 1) {
+      std::fprintf(stderr, "%s:%zu: not \"<stack> <value>\": %s\n",
+                   path.c_str(), lineno, line.c_str());
+      return 1;
+    }
+    const std::string value = line.substr(space + 1);
+    if (value.find_first_not_of("0123456789") != std::string::npos) {
+      std::fprintf(stderr, "%s:%zu: value \"%s\" is not a non-negative "
+                   "integer\n", path.c_str(), lineno, value.c_str());
+      return 1;
+    }
+    const std::string stack = line.substr(0, space);
+    size_t start = 0;
+    bool first = true;
+    while (start <= stack.size()) {
+      size_t semi = stack.find(';', start);
+      if (semi == std::string::npos) semi = stack.size();
+      const std::string frame = stack.substr(start, semi - start);
+      if (frame.empty()) {
+        std::fprintf(stderr, "%s:%zu: empty frame in stack \"%s\"\n",
+                     path.c_str(), lineno, stack.c_str());
+        return 1;
+      }
+      if (first && !IsPhaseRoot(frame)) {
+        std::fprintf(stderr, "%s:%zu: unknown stack root \"%s\"\n",
+                     path.c_str(), lineno, frame.c_str());
+        return 1;
+      }
+      first = false;
+      start = semi + 1;
+    }
+    ++stacks;
+  }
+  std::printf("%s: ok — %zu collapsed stacks\n", path.c_str(), stacks);
+  return 0;
+}
+
+}  // namespace
+}  // namespace smdb
+
+int main(int argc, char** argv) {
+  if (argc != 2 && argc != 3) {
+    std::fprintf(stderr,
+                 "usage: smdb_profile_check PROFILE.json "
+                 "[PROFILE.json.collapsed]\n");
+    return 1;
+  }
+  int rc = smdb::CheckProfile(argv[1]);
+  if (rc != 0) return rc;
+  if (argc == 3) rc = smdb::CheckCollapsed(argv[2]);
+  return rc;
+}

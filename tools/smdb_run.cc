@@ -25,6 +25,7 @@ struct Flags {
   std::string trace_out;    // Chrome trace-event file ("" = no trace)
   std::string stats_json;   // unified metrics snapshot ("" = none)
   std::string latency_json; // observatory export ("" = none)
+  std::string profile_out;  // profiler JSON (+ .collapsed) ("" = none)
 };
 
 void Usage() {
@@ -85,6 +86,11 @@ void Usage() {
       "  --obs-influence=NS       post-recovery span still counted as\n"
       "                           through-crash (default 200000)\n"
       "  --obs-top-contended=N    lock-contention profile size (default 8)\n"
+      "  --profile-out=PATH       enable the execution/recovery profiler\n"
+      "                           and write its JSON export (reject-reason\n"
+      "                           attribution, occupancy histograms, phase\n"
+      "                           costs) plus PATH.collapsed, a\n"
+      "                           flamegraph.pl-compatible collapsed stack\n"
       "  --verbose                dump per-subsystem statistics\n");
 }
 
@@ -191,6 +197,10 @@ bool ParseFlag(Flags& f, const std::string& arg) {
   } else if (key == "--obs-top-contended") {
     cfg.db.obs.enabled = true;
     cfg.db.obs.top_contended = static_cast<uint32_t>(std::stoul(val));
+  } else if (key == "--profile-out") {
+    if (val.empty()) return false;
+    f.profile_out = val;
+    cfg.db.profiler.enabled = true;
   } else if (key == "--verbose") {
     f.verbose = true;
   } else {
@@ -240,6 +250,18 @@ int Run(const Flags& flags) {
                    report->latency.ToJson().Dump(1))) {
       return 1;
     }
+  }
+  if (!flags.profile_out.empty()) {
+    if (!WriteFile(flags.profile_out,
+                   ProfileJsonFromReport(*report).Dump(1))) {
+      return 1;
+    }
+    if (!WriteFile(flags.profile_out + ".collapsed",
+                   report->profile.ToCollapsed())) {
+      return 1;
+    }
+    std::fprintf(stderr, "profile: %s (+ .collapsed)\n",
+                 flags.profile_out.c_str());
   }
   const HarnessReport& r = *report;
   std::printf("protocol            %s\n",

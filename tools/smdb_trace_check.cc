@@ -2,17 +2,22 @@
 // `smdb_run --trace-out=...` (or the fuzzer's forensic re-run).
 //
 // Checks that the file parses as JSON, has a non-empty "traceEvents" array,
-// and that every event carries the fields chrome://tracing needs (name, ph,
-// pid, tid; ts for everything but metadata). Prints a one-line summary and
-// exits 0 on success, 1 on any structural problem — small enough to run as
-// a CI smoke step.
+// that every event carries the fields chrome://tracing needs (name, ph,
+// pid, tid; ts for everything but metadata), and that every non-metadata
+// event's "cat" is a TraceEventKind this build knows (so a new event kind
+// that forgets its name — or a stale checker — fails loudly). Prints a
+// one-line summary and exits 0 on success, 1 on any structural problem —
+// small enough to run as a CI smoke step.
 //
 // Usage: smdb_trace_check TRACE.json
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+
+#include "obs/trace.h"
 
 #include "common/json.h"
 
@@ -47,6 +52,14 @@ int Check(const std::string& path) {
     std::fprintf(stderr, "%s: traceEvents is empty\n", path.c_str());
     return 1;
   }
+  // Every non-metadata event names its kind in "cat" (the "name" field can
+  // carry a phase label or a "kind:label" composite, so it is not the thing
+  // to validate). Build the known set from the enum this binary compiled
+  // against: a trace from a newer build with an unknown kind fails here.
+  std::set<std::string> known_kinds;
+  for (size_t k = 0; k < kNumTraceEventKinds; ++k) {
+    known_kinds.insert(TraceEventKindName(static_cast<TraceEventKind>(k)));
+  }
   size_t spans = 0;
   size_t instants = 0;
   size_t metadata = 0;
@@ -71,6 +84,22 @@ int Check(const std::string& path) {
                    i, ph.c_str());
       return 1;
     }
+    if (ph == "M") {
+      const std::string name = ev.GetString("name");
+      if (name != "thread_name" && name != "process_name") {
+        std::fprintf(stderr, "%s: metadata event %zu has unknown name %s\n",
+                     path.c_str(), i, name.c_str());
+        return 1;
+      }
+      ++metadata;
+      continue;
+    }
+    const std::string cat = ev.GetString("cat");
+    if (cat.empty() || known_kinds.find(cat) == known_kinds.end()) {
+      std::fprintf(stderr, "%s: event %zu has unknown event kind \"%s\"\n",
+                   path.c_str(), i, cat.c_str());
+      return 1;
+    }
     if (ph == "X") {
       ++spans;
       if (ev.Find("dur") == nullptr) {
@@ -80,8 +109,6 @@ int Check(const std::string& path) {
       }
     } else if (ph == "i") {
       ++instants;
-    } else if (ph == "M") {
-      ++metadata;
     }
   }
   std::printf("%s: ok — %zu events (%zu spans, %zu instants, %zu metadata)\n",
